@@ -1,0 +1,35 @@
+package countnet
+
+import (
+	"countnet/internal/msgnet"
+)
+
+// ChannelCounter is a counting network run as a message-passing system: one
+// goroutine per balancer, tokens as channel messages. Section 2 of the
+// paper notes the balancer model covers message passing as well as shared
+// memory; this is that implementation. Close it when done to stop the node
+// goroutines.
+type ChannelCounter struct {
+	net *msgnet.Network
+}
+
+// NewChannelCounter launches the message-passing runtime for t. buffer is
+// each node's inbox capacity (0 means synchronous hand-offs).
+func NewChannelCounter(t Topology, buffer int) (*ChannelCounter, error) {
+	if !t.Valid() {
+		return nil, errZeroTopology
+	}
+	n, err := msgnet.Start(t.g, buffer)
+	if err != nil {
+		return nil, err
+	}
+	return &ChannelCounter{net: n}, nil
+}
+
+// NextAt draws the next value entering at a specific network input.
+func (c *ChannelCounter) NextAt(input int) (int64, error) {
+	return c.net.Traverse(input)
+}
+
+// Close stops the node goroutines and waits for them to exit.
+func (c *ChannelCounter) Close() { c.net.Close() }

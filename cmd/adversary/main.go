@@ -1,0 +1,234 @@
+// Command adversary replays the scripted worst-case executions of
+// "Counting Networks are Practically Linearizable": the introduction's
+// depth-1 example and the Section 4 constructions (Theorems 4.1, 4.3, 4.4),
+// plus the Corollary 3.12 padding fix. For each scenario it prints the
+// timing parameters, the per-token values, and the linearizability report.
+//
+//	adversary -scenario section1|tree|bitonic|waves|padding|all [-width w]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"countnet/internal/core"
+	"countnet/internal/dtree"
+	"countnet/internal/schedule"
+	"countnet/internal/topo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "adversary:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("adversary", flag.ContinueOnError)
+	var (
+		name   = fs.String("scenario", "all", "section1, tree, bitonic, waves, padding, or all")
+		width  = fs.Int("width", 8, "network width for the Section 4 scenarios")
+		trace  = fs.String("trace", "", "write the execution trace (JSONL) to this file (single scenarios only)")
+		sweep  = fs.Bool("sweep", false, "run the Lemma 3.7 start-separation sweep instead of a scenario")
+		search = fs.Bool("search", false, "synthesize an adversarial schedule by hill climbing instead of replaying a scripted one")
+		ratio  = fs.Int64("ratio", 5, "c2/c1 ratio budget for -search")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sweep {
+		return gapSweep(w, *width)
+	}
+	if *search {
+		return searchAdversary(w, *width, *ratio)
+	}
+	names := []string{*name}
+	if *name == "all" {
+		names = []string{"section1", "tree", "bitonic", "waves", "padding"}
+	}
+	if *trace != "" && len(names) > 1 {
+		return fmt.Errorf("-trace requires a single -scenario")
+	}
+	for _, n := range names {
+		if err := runOne(w, n, *width, *trace); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func runOne(w io.Writer, name string, width int, tracePath string) error {
+	if name == "padding" {
+		return padding(w, width)
+	}
+	var (
+		sc  *schedule.Scenario
+		err error
+	)
+	switch name {
+	case "section1":
+		sc, err = schedule.Section1()
+	case "tree":
+		sc, err = schedule.Tree(width)
+	case "bitonic":
+		sc, err = schedule.Bitonic(width)
+	case "waves":
+		sc, err = schedule.Waves(width)
+	default:
+		return fmt.Errorf("unknown scenario %q", name)
+	}
+	if err != nil {
+		return err
+	}
+	res, err := schedule.Run(sc.Graph, sc.Arrive, sc.Delays, schedule.Options{Trace: tracePath != ""})
+	if err != nil {
+		return err
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := schedule.WriteTrace(f, sc.Graph, res); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace written to %s (%d events)\n", tracePath, len(res.Events))
+	}
+	rep := res.Report()
+	fmt.Fprintf(w, "== %s ==\n%s\n", sc.Name, sc.Claim)
+	fmt.Fprintf(w, "network: %s\n", topo.Summary(sc.Graph))
+	fmt.Fprintf(w, "timing:  c1=%d c2=%d (ratio %.2f, linearizable bound is 2)\n",
+		sc.C1, sc.C2, float64(sc.C2)/float64(sc.C1))
+	fmt.Fprintf(w, "result:  %s\n", rep)
+	if len(res.Values) <= 12 {
+		for k, v := range res.Values {
+			fmt.Fprintf(w, "  token %2d: [%6d, %6d] -> %d\n", k, res.Ops[k].Start, res.Ops[k].End, v)
+		}
+	} else {
+		for _, viol := range topViolations(res) {
+			fmt.Fprintf(w, "  violated op: [%d, %d] -> %d (preceded by value %d)\n",
+				viol.start, viol.end, viol.value, viol.prev)
+		}
+	}
+	return nil
+}
+
+type violRow struct{ start, end, value, prev int64 }
+
+// topViolations lists up to five violated operations.
+func topViolations(res *schedule.Result) []violRow {
+	var out []violRow
+	for k, op := range res.Ops {
+		var prevMax int64 = -1
+		for j, other := range res.Ops {
+			if j != k && other.End < op.Start && other.Value > prevMax {
+				prevMax = other.Value
+			}
+		}
+		if prevMax > op.Value {
+			out = append(out, violRow{op.Start, op.End, op.Value, prevMax})
+			if len(out) == 5 {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// searchAdversary synthesizes a violating schedule for the counting tree
+// under the given ratio budget and prints what it found.
+func searchAdversary(w io.Writer, width int, ratio int64) error {
+	g, err := dtree.New(width)
+	if err != nil {
+		return err
+	}
+	const c1 = 10
+	c2 := ratio * c1
+	res, err := schedule.Search(g, schedule.SearchSpec{
+		C1: c1, C2: c2, Tokens: 14, Horizon: 8 * c2, Rounds: 1500, Restarts: 8, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== adversary synthesis (dtree[%d], c2 = %d*c1) ==\n", width, ratio)
+	fmt.Fprintf(w, "%d schedules evaluated; best has %d non-linearizable operations\n", res.Evaluated, res.Violations)
+	if res.Violations == 0 {
+		if c2 <= 2*c1 {
+			fmt.Fprintln(w, "none found — as Corollary 3.9 guarantees for c2 <= 2*c1")
+		} else {
+			fmt.Fprintln(w, "none found within the search budget (violations above 2*c1 exist but are rare)")
+		}
+		return nil
+	}
+	replay, err := res.Replay(g)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "replayed: %s\n", replay.Report())
+	for k, a := range res.Arrivals {
+		fmt.Fprintf(w, "  token %2d: enter t=%-6d delays %v -> value %d [%d,%d]\n",
+			k, a.Time, res.LinkDelays[k], replay.Values[k], replay.Ops[k].Start, replay.Ops[k].End)
+	}
+	return nil
+}
+
+// gapSweep prints violations against the start-separation fraction of the
+// Lemma 3.7 bound 2h(c2-c1): zero at and above 1.0, growing below it.
+func gapSweep(w io.Writer, width int) error {
+	g, err := dtree.New(width)
+	if err != nil {
+		return err
+	}
+	const c1, c2 = 10, 100
+	fracs := []float64{0.01, 0.02, 0.04, 0.06, 0.08, 0.12, 0.25, 0.5, 1.0}
+	pts, err := schedule.GapSweep(g, c1, c2, fracs, 24, 60, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== Lemma 3.7 separation sweep (dtree[%d], c2/c1 = %d) ==\n", width, c2/c1)
+	fmt.Fprintf(w, "bound: start-start gap 2h(c2-c1) = %d\n", 2*int64(g.Depth())*(c2-c1))
+	fmt.Fprintf(w, "%-12s %-10s %s\n", "gap/bound", "pairs", "inversions")
+	for _, pt := range pts {
+		fmt.Fprintf(w, "%-12.2f %-10d %d (%.3f%%)\n", pt.Frac, pt.Pairs, pt.Inversions,
+			100*float64(pt.Inversions)/float64(pt.Pairs))
+	}
+	return nil
+}
+
+// padding demonstrates Corollary 3.12: the tree scenario violates at
+// c2 = 2.5*c1; the padded network under the same adversary does not.
+func padding(w io.Writer, width int) error {
+	sc, err := schedule.Tree(width)
+	if err != nil {
+		return err
+	}
+	before, err := sc.Run()
+	if err != nil {
+		return err
+	}
+	h := sc.Graph.Depth()
+	k := int((sc.C2 + sc.C1 - 1) / sc.C1)
+	padLen := core.PaddingLength(h, k)
+	padded, err := topo.Pad(sc.Graph, padLen)
+	if err != nil {
+		return err
+	}
+	after, err := schedule.Run(padded, sc.Arrive, sc.Delays, schedule.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== padding (Corollary 3.12) ==\n")
+	fmt.Fprintf(w, "tree width %d, depth %d, ratio bound k=%d -> prefix %d pass-through balancers per input\n",
+		width, h, k, padLen)
+	fmt.Fprintf(w, "unpadded: %s\n", before.Report())
+	fmt.Fprintf(w, "padded:   %s (depth %d)\n", after.Report(), padded.Depth())
+	return nil
+}

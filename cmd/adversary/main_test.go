@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"countnet/internal/schedule"
+)
+
+func TestRunAllScenarios(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "all", "-width", "8"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"section1", "Theorem 4.1", "Theorem 4.3", "Theorem 4.4",
+		"padding (Corollary 3.12)", "non-linearizable",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// The padding block must report zero violations on the padded network.
+	if !strings.Contains(out, "padded:   0/") {
+		t.Errorf("padded run not clean:\n%s", out)
+	}
+}
+
+func TestRunSingleScenario(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "section1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "token  2") {
+		t.Errorf("token table missing:\n%s", sb.String())
+	}
+}
+
+func TestRunRejectsUnknownScenario(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "nonsense"}, &sb); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestRunTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "tree", "-width", "4", "-trace", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := schedule.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 tokens (w=4 scenario: T0, T1, 3 wave) each transit depth+1 = 3 nodes.
+	if len(events) != 5*3 {
+		t.Errorf("trace has %d events, want 15", len(events))
+	}
+	if err := run([]string{"-scenario", "all", "-trace", path}, &sb); err == nil {
+		t.Error("-trace with -scenario all accepted")
+	}
+}
+
+func TestRunWavesWideShowsViolatedOps(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "waves", "-width", "16"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	// 24 tokens: the token table is elided and violated ops are listed.
+	if !strings.Contains(sb.String(), "violated op:") {
+		t.Errorf("wide scenario did not list violations:\n%s", sb.String())
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-sweep", "-width", "4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "separation sweep") || !strings.Contains(sb.String(), "gap/bound") {
+		t.Errorf("sweep output:\n%s", sb.String())
+	}
+}
+
+func TestRunSearch(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-search", "-width", "4", "-ratio", "5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "adversary synthesis") {
+		t.Errorf("search output:\n%s", sb.String())
+	}
+}
+
+func TestRunSearchBelowBoundFindsNothing(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-search", "-width", "4", "-ratio", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Corollary 3.9") {
+		t.Errorf("below-bound search output:\n%s", sb.String())
+	}
+}

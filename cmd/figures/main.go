@@ -1,0 +1,145 @@
+// Command figures regenerates the Section 5 evaluation of "Counting
+// Networks are Practically Linearizable" on the simulated multiprocessor:
+//
+//	figures -fig 5        non-linearizability ratios, F=25% (Figure 5)
+//	figures -fig 6        non-linearizability ratios, F=50% (Figure 6)
+//	figures -fig 7        average c2/c1 table (Figure 7)
+//	figures -controls     the F=0%/100%, W=0 and random-wait control runs
+//	figures -all          everything
+//
+// Use -ops / -seed / -width to vary the workload from the paper's defaults.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"countnet/internal/report"
+	"countnet/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	var (
+		fig      = fs.Int("fig", 0, "figure to regenerate: 5, 6, or 7")
+		controls = fs.Bool("controls", false, "run the zero-violation control experiments")
+		all      = fs.Bool("all", false, "regenerate every figure and the controls")
+		ops      = fs.Int("ops", workload.PaperOps, "operations per run")
+		width    = fs.Int("width", workload.PaperWidth, "network width")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		csvPath  = fs.String("csv", "", "also write the measured grid as CSV to this file")
+		seeds    = fs.Int("seeds", 1, "independent seeds to average per cell")
+		extended = fs.Bool("extended", false, "include the periodic network (extension; the paper evaluates bitonic and dtree)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *all {
+		for _, f := range []int{5, 6, 7} {
+			if err := figure(w, f, *ops, *width, *seed, *seeds, *csvPath, *extended); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return controlRuns(w, *ops, *width, *seed)
+	}
+	if *controls {
+		return controlRuns(w, *ops, *width, *seed)
+	}
+	switch *fig {
+	case 5, 6, 7:
+		return figure(w, *fig, *ops, *width, *seed, *seeds, *csvPath, *extended)
+	default:
+		return fmt.Errorf("choose -fig 5|6|7, -controls, or -all")
+	}
+}
+
+// figure measures the grid for one figure and renders it, optionally
+// averaging several seeds per cell and appending the cells to a CSV file.
+func figure(w io.Writer, fig, ops, width int, seed int64, seeds int, csvPath string, extended bool) error {
+	fracs := []float64{0.25}
+	switch fig {
+	case 6:
+		fracs = []float64{0.50}
+	case 7:
+		fracs = workload.PaperFracs
+	}
+	var tbl report.Table
+	for _, frac := range fracs {
+		specs := workload.FigureGrid(frac, seed)
+		if extended {
+			for _, wait := range workload.PaperWaits {
+				for _, n := range workload.PaperProcs {
+					specs = append(specs, workload.Spec{
+						Net: workload.Periodic, Width: workload.PaperWidth,
+						Procs: n, Ops: workload.PaperOps, Frac: frac, Wait: wait, Seed: seed,
+					})
+				}
+			}
+		}
+		for _, spec := range specs {
+			spec.Ops = ops
+			spec.Width = width
+			agg, err := spec.RunSeeds(seeds)
+			if err != nil {
+				return fmt.Errorf("%s: %w", spec, err)
+			}
+			tbl.Add(report.Cell{
+				Net:      string(spec.Net),
+				Procs:    spec.Procs,
+				Wait:     spec.Wait,
+				Frac:     spec.Frac,
+				Ratio:    agg.RatioMean,
+				AvgRatio: agg.AvgC2C1Mean,
+				Tog:      agg.TogMean,
+			})
+		}
+	}
+	if csvPath != "" {
+		f, err := os.OpenFile(csvPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		tbl.WriteCSV(f)
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	nets := []string{string(workload.Bitonic), string(workload.DTree)}
+	if extended {
+		nets = append(nets, string(workload.Periodic))
+	}
+	switch fig {
+	case 5, 6:
+		fmt.Fprintf(w, "== Figure %d ==\n", fig)
+		tbl.WriteFigure(w, nets, workload.PaperProcs, workload.PaperWaits, fracs[0])
+	case 7:
+		fmt.Fprintln(w, "== Figure 7 ==")
+		tbl.WriteAvgRatio(w, nets, workload.PaperProcs, workload.PaperWaits, fracs)
+	}
+	return nil
+}
+
+// controlRuns executes the paper's zero-violation controls.
+func controlRuns(w io.Writer, ops, width int, seed int64) error {
+	fmt.Fprintln(w, "== Controls (paper: no non-linearizable operations detected) ==")
+	for _, spec := range workload.ControlGrid(seed) {
+		spec.Ops = ops
+		spec.Width = width
+		res, err := spec.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec, err)
+		}
+		fmt.Fprintf(w, "%-40s violations=%d avg c2/c1=%.2f\n", spec, res.Report.NonLinearizable, res.AvgRatio)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFigure5Small(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "5", "-ops", "60", "-width", "8"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 5", "bitonic", "dtree", "n=256", "F=25%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFigure7Small(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "7", "-ops", "60", "-width", "8"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Average c2/c1") {
+		t.Errorf("output missing table header:\n%s", sb.String())
+	}
+}
+
+func TestRunControlsSmall(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-controls", "-ops", "60", "-width", "8"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "violations=") {
+		t.Errorf("output missing violations:\n%s", sb.String())
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "out.csv")
+	var sb strings.Builder
+	if err := run([]string{"-fig", "6", "-ops", "60", "-width", "8", "-csv", csv}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.HasPrefix(s, "network,frac,wait,procs,") {
+		t.Errorf("csv header missing:\n%s", s)
+	}
+	if lines := strings.Count(s, "\n"); lines != 1+2*4*5 {
+		t.Errorf("csv has %d lines, want %d", lines, 1+2*4*5)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "9"}, &sb); err == nil {
+		t.Error("fig 9 accepted")
+	}
+	if err := run([]string{"-bogus"}, &sb); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}

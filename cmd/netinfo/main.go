@@ -1,0 +1,99 @@
+// Command netinfo inspects counting-network constructions: shape, depth,
+// uniformity, a randomized counting-property check, the paper's timing
+// bounds for a given c1/c2, and optional Graphviz output.
+//
+//	netinfo -net bitonic -width 32 -c1 100 -c2 250 [-dot out.dot] [-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"countnet/internal/core"
+	"countnet/internal/topo"
+	"countnet/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "netinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("netinfo", flag.ContinueOnError)
+	var (
+		net    = fs.String("net", "bitonic", "bitonic, periodic, or dtree")
+		width  = fs.Int("width", 8, "network width (power of two)")
+		c1     = fs.Int64("c1", 100, "minimum link-traversal time")
+		c2     = fs.Int64("c2", 200, "maximum link-traversal time")
+		dot    = fs.String("dot", "", "write Graphviz output to this file")
+		jsonP  = fs.String("json", "", "write the network encoding to this JSON file")
+		verify = fs.Bool("verify", false, "certify the counting property (exhaustive for small networks, randomized otherwise)")
+		render = fs.Bool("render", false, "print a layer-by-layer ASCII rendering")
+		pad    = fs.Bool("pad", false, "also show the Corollary 3.12 padded network")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := workload.NetKind(*net).Build(*width)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s[%d]: %s\n", *net, *width, topo.Summary(g))
+
+	tm := core.Timing{C1: *c1, C2: *c2}
+	if err := tm.Validate(); err != nil {
+		return err
+	}
+	h := g.Depth()
+	fmt.Fprintf(w, "timing c1=%d c2=%d: ratio %.2f\n", tm.C1, tm.C2, tm.Ratio())
+	if tm.Linearizable() {
+		fmt.Fprintf(w, "  linearizable in every execution (c2 <= 2*c1, Corollary 3.9)\n")
+	} else {
+		fmt.Fprintf(w, "  NOT guaranteed linearizable (c2 > 2*c1; Theorems 4.1/4.3 give violating executions)\n")
+		fmt.Fprintf(w, "  ordered anyway if separated by > %d (start-start, Lemma 3.7) or > %d (finish-start, Theorem 3.6)\n",
+			tm.StartStartGap(h), tm.FinishStartGap(h))
+		k := tm.K()
+		fmt.Fprintf(w, "  padding fix (Corollary 3.12): k=%d -> %d pass-through balancers per input, depth %d -> %d\n",
+			k, core.PaddingLength(h, k), h, core.PaddedDepth(h, k))
+	}
+
+	if *render {
+		fmt.Fprint(w, topo.Render(g))
+	}
+	if *verify {
+		how, err := topo.Certify(g, 4_000_000, 25, 1)
+		if err != nil {
+			return fmt.Errorf("counting-property check FAILED: %w", err)
+		}
+		fmt.Fprintf(w, "counting-property check: ok (%s)\n", how)
+	}
+	if *pad && !tm.Linearizable() {
+		padded, err := topo.Pad(g, core.PaddingLength(h, tm.K()))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "padded: %s\n", topo.Summary(padded))
+	}
+	if *dot != "" {
+		if err := os.WriteFile(*dot, []byte(topo.Dot(g, *net)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", *dot)
+	}
+	if *jsonP != "" {
+		data, err := topo.Encode(g)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonP, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", *jsonP)
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+// Command stress runs the real-goroutine counterpart of the paper's
+// benchmark: workers traverse a compiled counting network on the actual Go
+// runtime, optionally pausing after every node (the paper's W delay), and
+// the run is checked for linearizability violations against the monotonic
+// clock. It also compares throughput against single-point counters.
+//
+//	stress -net dtree -width 32 -workers 64 -ops 100000 -frac 0.25 -delay 200us
+//	stress -compare -workers 64 -ops 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"countnet/internal/shm"
+	"countnet/internal/stats"
+	"countnet/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "stress:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("stress", flag.ContinueOnError)
+	var (
+		net     = fs.String("net", "bitonic", "bitonic, periodic, or dtree")
+		width   = fs.Int("width", 32, "network width")
+		workers = fs.Int("workers", 64, "concurrent goroutines")
+		ops     = fs.Int("ops", 100000, "total operations")
+		frac    = fs.Float64("frac", 0, "fraction of workers delayed after every node (paper's F)")
+		delay   = fs.Duration("delay", 0, "per-node delay for delayed workers (paper's W)")
+		random  = fs.Bool("random", false, "all workers pause uniform [0,delay] per node")
+		kind    = fs.String("balancer", "mcs", "toggle implementation: mcs, mutex, atomic")
+		compare = fs.Bool("compare", false, "compare network throughput against single-point counters")
+		grid    = fs.Bool("grid", false, "run the wall-clock analogue of the paper's Figure 5/6 grid")
+		seed    = fs.Int64("seed", 1, "workload seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *compare {
+		return compareCounters(w, *width, *workers, *ops)
+	}
+	if *grid {
+		return realGrid(w, *frac, *ops, *seed)
+	}
+	g, err := workload.NetKind(*net).Build(*width)
+	if err != nil {
+		return err
+	}
+	var k shm.Kind
+	switch *kind {
+	case "mcs":
+		k = shm.KindMCS
+	case "mutex":
+		k = shm.KindMutex
+	case "atomic":
+		k = shm.KindAtomic
+	default:
+		return fmt.Errorf("unknown balancer %q", *kind)
+	}
+	n, err := shm.Compile(g, shm.Options{Kind: k, Diffract: *net == "dtree"})
+	if err != nil {
+		return err
+	}
+	res, err := shm.Stress(shm.StressConfig{
+		Net: n, Workers: *workers, Ops: *ops,
+		DelayedFrac: *frac, Delay: *delay, RandomDelay: *random, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s[%d] %s balancers, %d workers, %d ops, F=%.0f%%, W=%v\n",
+		*net, *width, *kind, *workers, *ops, 100**frac, *delay)
+	fmt.Fprintf(w, "elapsed %v, %.0f ops/s\n", res.Elapsed.Round(time.Millisecond), res.Throughput)
+	lat := make([]int64, len(res.Ops))
+	for i, op := range res.Ops {
+		lat[i] = op.End - op.Start
+	}
+	fmt.Fprintf(w, "latency (ns): %s\n", stats.Summarize(lat))
+	fmt.Fprintf(w, "linearizability: %s\n", res.Report)
+	return nil
+}
+
+// realGrid runs the wall-clock analogue of the paper's benchmark grid and
+// prints one row per cell.
+func realGrid(w io.Writer, frac float64, ops int, seed int64) error {
+	if frac == 0 {
+		frac = 0.25
+	}
+	fmt.Fprintf(w, "wall-clock grid (goroutines), F=%.0f%%, %d ops per cell\n", 100*frac, ops)
+	fmt.Fprintf(w, "%-34s %12s %10s %12s\n", "cell", "ops/s", "viol%", "p99-latency")
+	for _, spec := range workload.RealGrid(frac, ops, seed) {
+		res, err := spec.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec, err)
+		}
+		lat := make([]int64, len(res.Ops))
+		for i, op := range res.Ops {
+			lat[i] = op.End - op.Start
+		}
+		sum := stats.Summarize(lat)
+		fmt.Fprintf(w, "%-34s %12.0f %9.3f%% %12v\n",
+			spec, res.Throughput, 100*res.Report.Ratio(), time.Duration(sum.P99).Round(time.Microsecond))
+	}
+	return nil
+}
+
+// compareCounters races the counting networks against a mutex counter and a
+// bare atomic fetch-and-add, the classic motivation for counting networks.
+func compareCounters(w io.Writer, width, workers, ops int) error {
+	type result struct {
+		name string
+		tput float64
+	}
+	var results []result
+
+	runNet := func(name string, kind workload.NetKind, diffract bool) error {
+		g, err := kind.Build(width)
+		if err != nil {
+			return err
+		}
+		n, err := shm.Compile(g, shm.Options{Kind: shm.KindMCS, Diffract: diffract})
+		if err != nil {
+			return err
+		}
+		res, err := shm.Stress(shm.StressConfig{Net: n, Workers: workers, Ops: ops, Seed: 1})
+		if err != nil {
+			return err
+		}
+		results = append(results, result{name, res.Throughput})
+		return nil
+	}
+	if err := runNet(fmt.Sprintf("bitonic[%d]+mcs", width), workload.Bitonic, false); err != nil {
+		return err
+	}
+	if err := runNet(fmt.Sprintf("dtree[%d]+prism", width), workload.DTree, true); err != nil {
+		return err
+	}
+	results = append(results,
+		result{"mutex counter", pointCounter(workers, ops, func(c *int64, mu *sync.Mutex) {
+			mu.Lock()
+			*c++
+			mu.Unlock()
+		})},
+		result{"atomic counter", pointCounterAtomic(workers, ops)},
+	)
+	fmt.Fprintf(w, "shared-counter throughput, %d workers, %d ops\n", workers, ops)
+	for _, r := range results {
+		fmt.Fprintf(w, "  %-22s %12.0f ops/s\n", r.name, r.tput)
+	}
+	return nil
+}
+
+// pointCounter measures a critical-section counter.
+func pointCounter(workers, ops int, inc func(*int64, *sync.Mutex)) float64 {
+	var c int64
+	var mu sync.Mutex
+	var remaining atomic.Int64
+	remaining.Store(int64(ops))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for remaining.Add(-1) >= 0 {
+				inc(&c, &mu)
+			}
+		}()
+	}
+	wg.Wait()
+	return float64(ops) / time.Since(start).Seconds()
+}
+
+// pointCounterAtomic measures a bare fetch-and-add.
+func pointCounterAtomic(workers, ops int) float64 {
+	var c atomic.Int64
+	var remaining atomic.Int64
+	remaining.Store(int64(ops))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for remaining.Add(-1) >= 0 {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return float64(ops) / time.Since(start).Seconds()
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunStressSmall(t *testing.T) {
+	var sb strings.Builder
+	args := []string{"-net", "dtree", "-width", "8", "-workers", "8", "-ops", "2000", "-frac", "0.25", "-delay", "20us"}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"dtree[8]", "ops/s", "linearizability:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCompareSmall(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-compare", "-width", "8", "-workers", "8", "-ops", "5000"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"bitonic[8]+mcs", "dtree[8]+prism", "mutex counter", "atomic counter"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsBadBalancer(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-balancer", "bogus", "-ops", "10", "-workers", "1"}, &sb); err == nil {
+		t.Error("bogus balancer accepted")
+	}
+}

@@ -1,0 +1,126 @@
+// adversary: the paper's timing measure, end to end on the public API.
+//
+// The example measures a counting tree's fast per-link time c1, then walks
+// two anomaly budgets through the theory:
+//
+//   - c2/c1 <= 2: linearizable, full stop (Corollary 3.9) — no padding, no
+//     separation requirement, regardless of depth.
+//   - c2/c1 >  2: violating executions exist (Theorems 4.1/4.3), but any
+//     two operations separated by Lemma 3.7's start-start gap stay ordered,
+//     and Corollary 3.12's padding restores linearizability at a known
+//     depth cost.
+//
+// It then injects anomalies far beyond both budgets (a GC-scale stall after
+// every node for a quarter of the workers) and lets the monitor show that
+// violations do occur — and how rare they are.
+//
+//	go run ./examples/adversary
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"countnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	tree, err := countnet.TreeTopology(16)
+	if err != nil {
+		return err
+	}
+	ctr, err := countnet.NewCounter(tree)
+	if err != nil {
+		return err
+	}
+
+	// Measure the fast path: per-link time of an uncontended traversal.
+	const probes = 2000
+	start := time.Now()
+	for i := 0; i < probes; i++ {
+		ctr.Next()
+	}
+	c1 := time.Since(start) / time.Duration(probes*tree.Depth())
+	if c1 <= 0 {
+		c1 = time.Nanosecond
+	}
+	fmt.Printf("network: %s\n", tree)
+	fmt.Printf("measured fast path: c1 ≈ %v per link\n\n", c1)
+
+	for _, k := range []int{2, 4} {
+		c2 := time.Duration(k) * c1
+		tm := countnet.Timing{C1: int64(c1), C2: int64(c2)}
+		fmt.Printf("anomaly budget c2 = %d*c1 = %v (ratio %.1f)\n", k, c2, tm.Ratio())
+		if tm.Linearizable() {
+			fmt.Println("  theory: linearizable in every execution (Corollary 3.9)")
+		} else {
+			fmt.Printf("  theory: violations possible; operations separated by > %v stay ordered (Lemma 3.7)\n",
+				time.Duration(tm.StartStartGap(tree.Depth())))
+			padded, err := tree.Pad(k)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  theory: padding to depth %d restores linearizability (Corollary 3.12)\n",
+				padded.Depth())
+		}
+		fmt.Println()
+	}
+
+	// Now blow past any reasonable budget: stall 100µs per node (a ratio
+	// in the thousands) for a quarter of the workers.
+	const anomaly = 100 * time.Microsecond
+	rep, err := anomalyRun(tree, anomaly)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("measured with 25%% of workers stalling %v per node: %s\n", anomaly, rep)
+	fmt.Println("(as Theorem 4.1 predicts, once the budget is blown the tree's low depth")
+	fmt.Println(" gives little padding effect and violations show up in volume)")
+	return nil
+}
+
+// anomalyRun traverses with a quarter of the workers stalling `extra` per
+// node, and reports the observed violations.
+func anomalyRun(t countnet.Topology, extra time.Duration) (countnet.Report, error) {
+	ctr, err := countnet.NewCounter(t)
+	if err != nil {
+		return countnet.Report{}, err
+	}
+	const workersN = 16
+	const perWorker = 1500
+	mon := countnet.NewMonitor(workersN * perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workersN; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var pauseFn func()
+			if w < workersN/4 && extra > 0 {
+				pauseFn = func() {
+					deadline := time.Now().Add(extra)
+					for time.Now().Before(deadline) {
+					}
+				}
+			}
+			for i := 0; i < perWorker; i++ {
+				mon.Observe(func() int64 {
+					v, err := ctr.NextInstrumented(0, pauseFn)
+					if err != nil {
+						panic(err) // impossible: input 0 always exists
+					}
+					return v
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	return mon.Report(), nil
+}

@@ -1,0 +1,141 @@
+// pipeline: a producer/consumer stage connected by a counting-network FIFO
+// buffer — the "FIFO buffers" application of linearizable counting from the
+// paper's introduction.
+//
+// Producers enqueue work items, consumers dequeue and check them off. The
+// queue's enqueue and dequeue tickets come from two bitonic counting
+// networks, so neither end has a single hot-spot word; every item is
+// delivered exactly once. The run also demonstrates what the queue does
+// NOT promise without linearizable counting: cross-producer real-time FIFO
+// order (items enqueued later can be delivered earlier), which the run
+// measures and prints.
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"countnet"
+)
+
+const (
+	producers   = 8
+	consumers   = 8
+	perProducer = 5000
+	capacity    = 128
+)
+
+type item struct {
+	producer int
+	seq      int
+	enqueued time.Duration
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	topo, err := countnet.BitonicTopology(16)
+	if err != nil {
+		return err
+	}
+	q, err := countnet.NewQueue[item](topo, capacity)
+	if err != nil {
+		return err
+	}
+	total := producers * perProducer
+	base := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(item{producer: p, seq: i, enqueued: time.Since(base)})
+			}
+		}(p)
+	}
+
+	type delivery struct {
+		it    item
+		order int
+	}
+	deliveries := make([][]delivery, consumers)
+	var order int64
+	var orderMu sync.Mutex
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			got := make([]delivery, 0, total/consumers)
+			for i := 0; i < total/consumers; i++ {
+				it := q.Dequeue()
+				orderMu.Lock()
+				o := order
+				order++
+				orderMu.Unlock()
+				got = append(got, delivery{it: it, order: int(o)})
+			}
+			deliveries[c] = got
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(base)
+
+	// Exactly-once accounting.
+	seen := make(map[[2]int]bool, total)
+	perProducerOrder := make([]int, producers) // last seq seen per producer
+	for i := range perProducerOrder {
+		perProducerOrder[i] = -1
+	}
+	outOfOrderSameProducer := 0
+	for _, got := range deliveries {
+		for _, d := range got {
+			key := [2]int{d.it.producer, d.it.seq}
+			if seen[key] {
+				return fmt.Errorf("duplicate delivery %v", key)
+			}
+			seen[key] = true
+		}
+	}
+	if len(seen) != total {
+		return fmt.Errorf("delivered %d of %d items", len(seen), total)
+	}
+	// Same-producer inversions across the global delivery order.
+	byOrder := make([]item, total)
+	for _, got := range deliveries {
+		for _, d := range got {
+			byOrder[d.order] = d.it
+		}
+	}
+	last := make([]int, producers)
+	for i := range last {
+		last[i] = -1
+	}
+	for _, it := range byOrder {
+		if it.seq < last[it.producer] {
+			outOfOrderSameProducer++
+		}
+		if it.seq > last[it.producer] {
+			last[it.producer] = it.seq
+		}
+	}
+
+	fmt.Printf("pipeline: %d producers -> counting-network queue(cap %d) -> %d consumers\n",
+		producers, capacity, consumers)
+	fmt.Printf("%d items in %v (%.0f items/s), every item delivered exactly once\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	fmt.Printf("same-producer order inversions observed: %d (%.3f%%)\n",
+		outOfOrderSameProducer, 100*float64(outOfOrderSameProducer)/float64(total))
+	fmt.Println("\n(the counting network is quiescently consistent, not linearizable:")
+	fmt.Println(" rare inversions under scheduling anomalies are exactly the trade-off")
+	fmt.Println(" the paper's c2/c1 measure quantifies)")
+	return nil
+}

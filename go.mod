@@ -1,0 +1,3 @@
+module countnet
+
+go 1.22

@@ -1,0 +1,95 @@
+// Package bitonic constructs the bitonic counting networks of Aspnes,
+// Herlihy, and Shavit. Bitonic[w] counts on w wires with depth
+// log2(w) * (log2(w)+1) / 2; it is the width-32 network evaluated in
+// Section 5 of "Counting Networks are Practically Linearizable".
+//
+// The construction is the classic recursive one: Bitonic[2k] is two parallel
+// Bitonic[k] networks followed by a Merger[2k]; Merger[2k] splits the even
+// subsequence of its first input half and the odd subsequence of its second
+// half into one Merger[k] (and the complementary subsequences into another)
+// and recombines with a final row of balancers.
+package bitonic
+
+import (
+	"fmt"
+
+	"countnet/internal/topo"
+)
+
+// New returns the bitonic counting network of width w, which must be a
+// power of two and at least 2.
+func New(w int) (*topo.Graph, error) {
+	if w < 2 || w&(w-1) != 0 {
+		return nil, fmt.Errorf("bitonic: width %d is not a power of two >= 2", w)
+	}
+	b := topo.NewBuilder()
+	in := b.Inputs(w)
+	out := network(b, in)
+	b.Terminate(out)
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("bitonic: width %d: %w", w, err)
+	}
+	return g, nil
+}
+
+// Depth returns the depth of Bitonic[w]: log2(w)*(log2(w)+1)/2.
+func Depth(w int) int {
+	lg := log2(w)
+	return lg * (lg + 1) / 2
+}
+
+// network wires Bitonic[len(in)] and returns its ordered outputs.
+func network(b *topo.Builder, in []topo.Out) []topo.Out {
+	n := len(in)
+	if n == 1 {
+		return in
+	}
+	k := n / 2
+	top := network(b, in[:k])
+	bot := network(b, in[k:])
+	return merger(b, append(append(make([]topo.Out, 0, n), top...), bot...))
+}
+
+// merger wires Merger[len(in)]: the first half of in carries one sequence
+// with the step property, the second half another; the outputs satisfy the
+// step property whenever the inputs do.
+func merger(b *topo.Builder, in []topo.Out) []topo.Out {
+	n := len(in)
+	if n == 2 {
+		o0, o1 := b.Balancer2(in[0], in[1])
+		return []topo.Out{o0, o1}
+	}
+	k := n / 2
+	aIn := make([]topo.Out, 0, k)
+	bIn := make([]topo.Out, 0, k)
+	for i := 0; i < k; i += 2 { // even subsequence of x, odd of x'
+		aIn = append(aIn, in[i])
+	}
+	for i := k + 1; i < n; i += 2 {
+		aIn = append(aIn, in[i])
+	}
+	for i := 1; i < k; i += 2 { // odd subsequence of x, even of x'
+		bIn = append(bIn, in[i])
+	}
+	for i := k; i < n; i += 2 {
+		bIn = append(bIn, in[i])
+	}
+	y := merger(b, aIn)
+	z := merger(b, bIn)
+	out := make([]topo.Out, n)
+	for i := 0; i < k; i++ {
+		o0, o1 := b.Balancer2(y[i], z[i])
+		out[2*i] = o0
+		out[2*i+1] = o1
+	}
+	return out
+}
+
+func log2(w int) int {
+	lg := 0
+	for v := w; v > 1; v >>= 1 {
+		lg++
+	}
+	return lg
+}

@@ -1,0 +1,79 @@
+package histvar
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if b.Count() != 0 {
+		t.Fatalf("fresh Count = %d", b.Count())
+	}
+	for _, id := range []int{0, 1, 63, 64, 65, 128, 129} {
+		b.Add(id)
+		if !b.Has(id) {
+			t.Errorf("Has(%d) false after Add", id)
+		}
+	}
+	if b.Count() != 7 {
+		t.Errorf("Count = %d, want 7", b.Count())
+	}
+	b.Add(0) // idempotent
+	if b.Count() != 7 {
+		t.Errorf("Count after re-Add = %d", b.Count())
+	}
+	// Out-of-range adds are ignored.
+	b.Add(-1)
+	b.Add(130)
+	if b.Count() != 7 || b.Has(-1) || b.Has(130) {
+		t.Errorf("out-of-range ids leaked in: %d", b.Count())
+	}
+}
+
+func TestBitsetUnionCloneForEach(t *testing.T) {
+	a := NewBitset(100)
+	b := NewBitset(100)
+	a.Add(3)
+	a.Add(70)
+	b.Add(70)
+	b.Add(99)
+	c := a.Clone()
+	c.UnionWith(b)
+	want := []int{3, 70, 99}
+	var got []int
+	c.ForEach(func(id int) { got = append(got, id) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach = %v, want %v", got, want)
+		}
+	}
+	// Clone independence.
+	if a.Count() != 2 {
+		t.Errorf("clone aliased its source: %d", a.Count())
+	}
+}
+
+func TestBitsetQuickUnionCount(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a := NewBitset(256)
+		b := NewBitset(256)
+		seen := map[int]bool{}
+		for _, x := range xs {
+			a.Add(int(x))
+			seen[int(x)] = true
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+			seen[int(y)] = true
+		}
+		a.UnionWith(b)
+		return a.Count() == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+package lincheck
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzAnalyzeMatchesBrute cross-checks the sweep against the quadratic
+// oracle on fuzzer-chosen executions. Run with
+// `go test -fuzz FuzzAnalyzeMatchesBrute ./internal/lincheck`; the seed
+// corpus runs on every plain `go test`.
+func FuzzAnalyzeMatchesBrute(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{7}, 60))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ops := decodeOps(raw)
+		a, b := Analyze(ops), AnalyzeBrute(ops)
+		if a.NonLinearizable != b.NonLinearizable {
+			t.Fatalf("count: sweep %d != brute %d (ops %v)", a.NonLinearizable, b.NonLinearizable, ops)
+		}
+		if a.MaxInversion != b.MaxInversion {
+			t.Fatalf("inversion: sweep %d != brute %d (ops %v)", a.MaxInversion, b.MaxInversion, ops)
+		}
+		if a.FirstViolation != b.FirstViolation {
+			t.Fatalf("first: sweep %d != brute %d (ops %v)", a.FirstViolation, b.FirstViolation, ops)
+		}
+		if got := len(Violations(ops)); got != a.NonLinearizable {
+			t.Fatalf("Violations len %d != %d", got, a.NonLinearizable)
+		}
+	})
+}
+
+// decodeOps derives a small-op execution from fuzzer bytes, with tight
+// value/time ranges to force collisions.
+func decodeOps(raw []byte) []Op {
+	ops := make([]Op, 0, len(raw)/3)
+	for i := 0; i+2 < len(raw); i += 3 {
+		s := int64(raw[i] % 32)
+		ops = append(ops, Op{
+			Start: s,
+			End:   s + int64(raw[i+1]%32),
+			Value: int64(raw[i+2] % 16),
+		})
+	}
+	return ops
+}
+
+// FuzzAnalyzeNoPanicsWide exercises the full int64 range for robustness
+// (overflow-adjacent values must not panic or disagree on emptiness).
+func FuzzAnalyzeNoPanicsWide(f *testing.F) {
+	seed := make([]byte, 48)
+	binary.LittleEndian.PutUint64(seed, ^uint64(0)>>1)
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ops := make([]Op, 0, len(raw)/24)
+		for i := 0; i+24 <= len(raw); i += 24 {
+			ops = append(ops, Op{
+				Start: int64(binary.LittleEndian.Uint64(raw[i:])),
+				End:   int64(binary.LittleEndian.Uint64(raw[i+8:])),
+				Value: int64(binary.LittleEndian.Uint64(raw[i+16:])),
+			})
+		}
+		r := Analyze(ops)
+		if r.Total != len(ops) {
+			t.Fatalf("total %d != %d", r.Total, len(ops))
+		}
+		if r.NonLinearizable < 0 || r.NonLinearizable > r.Total {
+			t.Fatalf("count out of range: %+v", r)
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package lincheck
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAnalyzeEmpty(t *testing.T) {
+	r := Analyze(nil)
+	if r.Total != 0 || r.NonLinearizable != 0 || !r.Linearizable() || r.Ratio() != 0 {
+		t.Errorf("empty analysis = %+v", r)
+	}
+	if r.FirstViolation != -1 {
+		t.Errorf("FirstViolation = %d, want -1", r.FirstViolation)
+	}
+}
+
+func TestAnalyzeSequentialCounting(t *testing.T) {
+	// Perfectly sequential counting: op k runs [2k, 2k+1] and returns k.
+	ops := make([]Op, 100)
+	for k := range ops {
+		ops[k] = Op{Start: int64(2 * k), End: int64(2*k + 1), Value: int64(k)}
+	}
+	r := Analyze(ops)
+	if !r.Linearizable() {
+		t.Errorf("sequential counting flagged: %v", r)
+	}
+}
+
+func TestAnalyzeSection1Example(t *testing.T) {
+	// The introduction's example: T1 returns 1 and completely precedes T2,
+	// which returns 0. T0 overlaps everything and returns 2.
+	ops := []Op{
+		{Start: 0, End: 100, Value: 2}, // T0, delayed
+		{Start: 1, End: 10, Value: 1},  // T1
+		{Start: 20, End: 30, Value: 0}, // T2: non-linearizable
+	}
+	r := Analyze(ops)
+	if r.NonLinearizable != 1 {
+		t.Fatalf("NonLinearizable = %d, want 1 (%v)", r.NonLinearizable, r)
+	}
+	if r.MaxInversion != 1 {
+		t.Errorf("MaxInversion = %d, want 1", r.MaxInversion)
+	}
+	v := Violations(ops)
+	if len(v) != 1 || v[0].Op.Value != 0 || v[0].PrecedingMax != 1 {
+		t.Errorf("Violations = %+v", v)
+	}
+}
+
+func TestAnalyzeOverlapIsNotViolation(t *testing.T) {
+	// Two overlapping ops may return values in either order.
+	ops := []Op{
+		{Start: 0, End: 10, Value: 1},
+		{Start: 5, End: 15, Value: 0},
+	}
+	if r := Analyze(ops); !r.Linearizable() {
+		t.Errorf("overlapping ops flagged: %v", r)
+	}
+}
+
+func TestAnalyzeTouchingEndpointsStrict(t *testing.T) {
+	// "Completely precedes" is strict: End == Start does not count.
+	ops := []Op{
+		{Start: 0, End: 10, Value: 5},
+		{Start: 10, End: 20, Value: 0},
+	}
+	if r := Analyze(ops); !r.Linearizable() {
+		t.Errorf("touching endpoints flagged: %v", r)
+	}
+	ops[1].Start = 11
+	if r := Analyze(ops); r.NonLinearizable != 1 {
+		t.Errorf("strictly separated inversion missed: %v", Analyze(ops))
+	}
+}
+
+func TestAnalyzeMultipleViolations(t *testing.T) {
+	ops := []Op{
+		{Start: 0, End: 1, Value: 10},
+		{Start: 2, End: 3, Value: 4}, // violated by 10
+		{Start: 4, End: 5, Value: 3}, // violated by 10
+		{Start: 6, End: 7, Value: 11},
+		{Start: 8, End: 9, Value: 12},
+	}
+	r := Analyze(ops)
+	if r.NonLinearizable != 2 {
+		t.Errorf("NonLinearizable = %d, want 2", r.NonLinearizable)
+	}
+	if r.MaxInversion != 7 {
+		t.Errorf("MaxInversion = %d, want 7", r.MaxInversion)
+	}
+	if r.FirstViolation != 1 {
+		t.Errorf("FirstViolation = %d, want 1", r.FirstViolation)
+	}
+}
+
+// TestAnalyzeMatchesBrute cross-checks the sweep against the quadratic
+// oracle on random executions.
+func TestAnalyzeMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(60)
+		ops := make([]Op, n)
+		for i := range ops {
+			s := int64(rng.Intn(100))
+			ops[i] = Op{
+				Start: s,
+				End:   s + 1 + int64(rng.Intn(50)),
+				Value: int64(rng.Intn(40)),
+			}
+		}
+		a, b := Analyze(ops), AnalyzeBrute(ops)
+		if a.NonLinearizable != b.NonLinearizable || a.MaxInversion != b.MaxInversion ||
+			a.FirstViolation != b.FirstViolation {
+			t.Fatalf("trial %d: sweep %+v != brute %+v (ops %v)", trial, a, b, ops)
+		}
+		if len(Violations(ops)) != a.NonLinearizable {
+			t.Fatalf("trial %d: Violations len %d != %d", trial, len(Violations(ops)), a.NonLinearizable)
+		}
+	}
+}
+
+// TestAnalyzeQuick is a property-based variant with adversarial small value
+// ranges to force heavy collisions on times and values.
+func TestAnalyzeQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		ops := make([]Op, 0, len(raw)/3)
+		for i := 0; i+2 < len(raw); i += 3 {
+			s := int64(raw[i] % 16)
+			ops = append(ops, Op{
+				Start: s,
+				End:   s + int64(raw[i+1]%16),
+				Value: int64(raw[i+2] % 8),
+			})
+		}
+		a, b := Analyze(ops), AnalyzeBrute(ops)
+		return a.NonLinearizable == b.NonLinearizable && a.MaxInversion == b.MaxInversion
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	rec := NewRecorder(0)
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				v := int64(p*100 + k)
+				rec.Record(2*v, 2*v+1, v)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if rec.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", rec.Len())
+	}
+	if r := rec.Analyze(); !r.Linearizable() {
+		t.Errorf("recorder analysis flagged consistent ops: %v", r)
+	}
+	ops := rec.Ops()
+	ops[0].Value = -99 // mutating the copy must not affect the recorder
+	if r := rec.Analyze(); !r.Linearizable() {
+		t.Errorf("Ops returned an aliased slice")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Total: 10, NonLinearizable: 3, MaxInversion: 5}
+	if s := r.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

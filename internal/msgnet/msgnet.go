@@ -1,0 +1,129 @@
+// Package msgnet runs a balancing network as a message-passing system: one
+// goroutine per node, tokens as messages on channels. Section 2 of the
+// paper notes its balancer model "is consistent with both the message
+// passing and shared memory ... implementations"; this package is the
+// message-passing half, with channel hops playing the role of links (their
+// scheduling jitter is exactly the c2/c1 variability the measure bounds).
+package msgnet
+
+import (
+	"fmt"
+	"sync"
+
+	"countnet/internal/topo"
+)
+
+// token is one counting request in flight.
+type token struct {
+	reply chan int64
+}
+
+// Network is a running message-passing balancing network. Create with
+// Start, use Traverse from any number of goroutines, and Close when done.
+type Network struct {
+	g      *topo.Graph
+	inbox  []chan token // one per node
+	stop   chan struct{}
+	done   sync.WaitGroup
+	closed sync.Once
+}
+
+// Start launches one goroutine per node of g. buffer is the capacity of
+// each node's inbox (0 for fully synchronous hand-off).
+func Start(g *topo.Graph, buffer int) (*Network, error) {
+	if g == nil {
+		return nil, fmt.Errorf("msgnet: nil graph")
+	}
+	if buffer < 0 {
+		return nil, fmt.Errorf("msgnet: negative buffer %d", buffer)
+	}
+	n := &Network{
+		g:     g,
+		inbox: make([]chan token, g.NumNodes()),
+		stop:  make(chan struct{}),
+	}
+	for id := range n.inbox {
+		n.inbox[id] = make(chan token, buffer)
+	}
+	for id := 0; id < g.NumNodes(); id++ {
+		id := topo.NodeID(id)
+		n.done.Add(1)
+		switch g.KindOf(id) {
+		case topo.KindBalancer:
+			go n.balancer(id)
+		case topo.KindCounter:
+			go n.counter(id)
+		}
+	}
+	return n, nil
+}
+
+// balancer routes arriving tokens round-robin over its output destinations.
+func (n *Network) balancer(id topo.NodeID) {
+	defer n.done.Done()
+	fanOut := n.g.FanOut(id)
+	dests := make([]chan token, fanOut)
+	for p := 0; p < fanOut; p++ {
+		dests[p] = n.inbox[n.g.OutDest(id, p).Node]
+	}
+	toggle := 0
+	for {
+		select {
+		case t := <-n.inbox[id]:
+			dest := dests[toggle]
+			toggle = (toggle + 1) % fanOut
+			select {
+			case dest <- t:
+			case <-n.stop:
+				return
+			}
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// counter assigns i + w*a to the a-th arriving token and replies.
+func (n *Network) counter(id topo.NodeID) {
+	defer n.done.Done()
+	idx := int64(n.g.CounterIndex(id))
+	w := int64(n.g.OutWidth())
+	var count int64
+	for {
+		select {
+		case t := <-n.inbox[id]:
+			t.reply <- idx + w*count
+			count++
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// Traverse sends one token into network input `input` and returns its
+// counter value. It must not be called after Close.
+func (n *Network) Traverse(input int) (int64, error) {
+	if input < 0 || input >= n.g.InWidth() {
+		return 0, fmt.Errorf("msgnet: input %d out of range [0,%d)", input, n.g.InWidth())
+	}
+	t := token{reply: make(chan int64, 1)}
+	entry := n.inbox[n.g.Input(input).Node]
+	select {
+	case entry <- t:
+	case <-n.stop:
+		return 0, fmt.Errorf("msgnet: network closed")
+	}
+	select {
+	case v := <-t.reply:
+		return v, nil
+	case <-n.stop:
+		return 0, fmt.Errorf("msgnet: network closed")
+	}
+}
+
+// Close stops every node goroutine and waits for them to exit. Tokens in
+// flight are dropped; their Traverse calls return an error.
+func (n *Network) Close() {
+	n.closed.Do(func() { close(n.stop) })
+	n.done.Wait()
+}

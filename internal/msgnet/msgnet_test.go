@@ -1,0 +1,132 @@
+package msgnet
+
+import (
+	"sync"
+	"testing"
+
+	"countnet/internal/bitonic"
+	"countnet/internal/dtree"
+	"countnet/internal/topo"
+)
+
+func start(t *testing.T, g *topo.Graph, buffer int) *Network {
+	t.Helper()
+	n, err := Start(g, buffer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n
+}
+
+func TestStartValidation(t *testing.T) {
+	if _, err := Start(nil, 0); err == nil {
+		t.Error("nil graph accepted")
+	}
+	g, err := dtree.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Start(g, -1); err == nil {
+		t.Error("negative buffer accepted")
+	}
+}
+
+func TestSequentialValues(t *testing.T) {
+	g, err := dtree.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := start(t, g, 1)
+	for k := 0; k < 20; k++ {
+		v, err := n.Traverse(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != int64(k) {
+			t.Fatalf("sequential token %d received %d", k, v)
+		}
+	}
+	if _, err := n.Traverse(5); err == nil {
+		t.Error("out-of-range input accepted")
+	}
+}
+
+// TestConcurrentPermutation checks end-to-end counting across goroutines on
+// both buffered and unbuffered channels.
+func TestConcurrentPermutation(t *testing.T) {
+	g, err := bitonic.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, buffer := range []int{0, 4} {
+		n := start(t, g, buffer)
+		const workers = 8
+		const perWorker = 300
+		total := workers * perWorker
+		got := make([][]int64, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				vals := make([]int64, 0, perWorker)
+				for i := 0; i < perWorker; i++ {
+					v, err := n.Traverse(w % g.InWidth())
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					vals = append(vals, v)
+				}
+				got[w] = vals
+			}(w)
+		}
+		wg.Wait()
+		seen := make([]bool, total)
+		for _, vals := range got {
+			for _, v := range vals {
+				if v < 0 || int(v) >= total || seen[v] {
+					t.Fatalf("buffer %d: bad or duplicate value %d", buffer, v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestCloseIdempotentAndUnblocks(t *testing.T) {
+	g, err := dtree.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Start(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+	n.Close() // must not panic or hang
+	if _, err := n.Traverse(0); err == nil {
+		t.Error("Traverse after Close succeeded")
+	}
+}
+
+func BenchmarkTraverse(b *testing.B) {
+	g, err := dtree.New(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := Start(g, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := n.Traverse(0); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,188 @@
+package schedule
+
+import (
+	"fmt"
+
+	"countnet/internal/bitonic"
+	"countnet/internal/dtree"
+	"countnet/internal/topo"
+)
+
+// Scenario is a fully scripted adversarial execution: a network, a timing
+// schedule, and the claim it demonstrates.
+type Scenario struct {
+	Name   string
+	Claim  string
+	Graph  *topo.Graph
+	Arrive []Arrival
+	Delays Delays
+	C1, C2 int64
+	// WaveStart indexes the first token of the final fast wave, where the
+	// scenario has one; violated operations are expected among these.
+	WaveStart int
+}
+
+// Run executes the scenario.
+func (s *Scenario) Run() (*Result, error) {
+	return Run(s.Graph, s.Arrive, s.Delays, Options{})
+}
+
+// Section1 scripts the introduction's example on the width-2 network
+// (depth 1): T0 toggles the balancer and stalls on its output link; T1
+// passes and returns 1; T2 enters after T1 exits, overtakes T0, and returns
+// 0 — a non-linearizable operation on a network of depth one.
+func Section1() (*Scenario, error) {
+	b := topo.NewBuilder()
+	in := b.Inputs(1)
+	o0, o1 := b.Balancer12(in[0])
+	b.Terminate([]topo.Out{o0, o1})
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	const c1, c2 = 100, 1000
+	delays := []int64{c2, c1, c1} // T0 slow, T1 and T2 fast
+	return &Scenario{
+		Name:  "section1",
+		Claim: "a depth-1 counting network exhibits a non-linearizable execution",
+		Graph: g,
+		Arrive: []Arrival{
+			{Time: 0, Input: 0},       // T0
+			{Time: 1, Input: 0},       // T1: exits at 1 + c1
+			{Time: c1 + 10, Input: 0}, // T2: enters after T1 exits
+		},
+		Delays:    PerToken(delays),
+		C1:        c1,
+		C2:        c2,
+		WaveStart: 2,
+	}, nil
+}
+
+// Tree scripts the Theorem 4.1 execution on the counting (diffracting) tree
+// of width w, with c2 = (2+eps)*c1 for eps = 1/2: two tokens enter together;
+// the one routed toward Y_1 races ahead and returns 1; the other crawls at
+// c2 per link; a wave of w-1 fast tokens enters just after the fast token
+// exits and one of them reaches Y_0 ahead of the crawler, returning 0.
+func Tree(w int) (*Scenario, error) {
+	g, err := dtree.New(w)
+	if err != nil {
+		return nil, err
+	}
+	const c1 = 100
+	const c2 = 250 // (2 + 1/2) * c1
+	h := int64(g.Depth())
+	arrive := []Arrival{
+		{Time: 0, Input: 0}, // T0: slow
+		{Time: 0, Input: 0}, // T1: fast, exits at h*c1 with value 1
+	}
+	t2 := h*c1 + 1 // delta = 1 < eps*c1*h
+	for i := 0; i < w-1; i++ {
+		arrive = append(arrive, Arrival{Time: t2, Input: 0})
+	}
+	delays := DelayFunc(func(tok, _ int) int64 {
+		if tok == 0 {
+			return c2
+		}
+		return c1
+	})
+	return &Scenario{
+		Name:      "tree",
+		Claim:     fmt.Sprintf("counting trees are not linearizable for c2 > 2*c1 (Theorem 4.1, w=%d)", w),
+		Graph:     g,
+		Arrive:    arrive,
+		Delays:    delays,
+		C1:        c1,
+		C2:        c2,
+		WaveStart: 2,
+	}, nil
+}
+
+// Bitonic scripts the Theorem 4.3 execution on Bitonic[w] with
+// c2 = 2*c1 + eps: T0 traverses alone via x0; T1 enters via x0 and crawls;
+// T2 follows immediately at full speed, exits via y2 with value 2; then w
+// fast tokens flood the network and exit before T1 — one of them exits via
+// y1 with value 1 < 2 although T2 completely preceded it.
+func Bitonic(w int) (*Scenario, error) {
+	g, err := bitonic.New(w)
+	if err != nil {
+		return nil, err
+	}
+	const c1 = 100
+	const c2 = 2*c1 + 30 // eps = 30
+	h := int64(g.Depth())
+	t1 := h*c1 + 10 // T1 enters after T0 has exited
+	arrive := []Arrival{
+		{Time: 0, Input: 0},      // T0
+		{Time: t1, Input: 0},     // T1: slow
+		{Time: t1 + 1, Input: 0}, // T2: fast, exits t1 + 1 + h*c1
+	}
+	t3 := t1 + 1 + h*c1 + 1 // delta1 + delta2 = 2 < h*eps
+	for i := 0; i < w; i++ {
+		arrive = append(arrive, Arrival{Time: t3, Input: i % w})
+	}
+	delays := DelayFunc(func(tok, _ int) int64 {
+		if tok == 1 {
+			return c2
+		}
+		return c1
+	})
+	return &Scenario{
+		Name:      "bitonic",
+		Claim:     fmt.Sprintf("bitonic networks are not linearizable for c2 > 2*c1 (Theorem 4.3, w=%d)", w),
+		Graph:     g,
+		Arrive:    arrive,
+		Delays:    delays,
+		C1:        c1,
+		C2:        c2,
+		WaveStart: 3,
+	}, nil
+}
+
+// Waves scripts the Theorem 4.4 execution on Bitonic[w] with
+// c2 > ((3+log2 w)/2)*c1, in which a large constant fraction of the
+// operations is non-linearizable: wave 1 (w/2 tokens) crawls through the
+// final Merger[w] stage at c2 per link; wave 2 races through and exits;
+// wave 3 enters right after and overtakes wave 1 entirely, returning values
+// below wave 2's.
+func Waves(w int) (*Scenario, error) {
+	g, err := bitonic.New(w)
+	if err != nil {
+		return nil, err
+	}
+	lg := 0
+	for v := w; v > 1; v >>= 1 {
+		lg++
+	}
+	const c1 = 100
+	c2 := int64((3+lg)*c1/2 + 10) // just above the threshold
+	h := int64(g.Depth())
+	mergerStart := int(h) - lg // wave 1 slows down on links inside Merger[w]
+	var arrive []Arrival
+	half := w / 2
+	for i := 0; i < half; i++ {
+		arrive = append(arrive, Arrival{Time: 0, Input: i}) // wave 1
+	}
+	for i := 0; i < half; i++ {
+		arrive = append(arrive, Arrival{Time: 1, Input: i}) // wave 2
+	}
+	t3 := 1 + h*c1 + 1 // just after wave 2 exits
+	for i := 0; i < half; i++ {
+		arrive = append(arrive, Arrival{Time: t3, Input: i}) // wave 3
+	}
+	delays := DelayFunc(func(tok, link int) int64 {
+		if tok < half && link > mergerStart {
+			return c2
+		}
+		return c1
+	})
+	return &Scenario{
+		Name:      "waves",
+		Claim:     fmt.Sprintf("bitonic networks admit a large non-linearizable fraction for c2 > ((3+log w)/2)*c1 (Theorem 4.4, w=%d)", w),
+		Graph:     g,
+		Arrive:    arrive,
+		Delays:    delays,
+		C1:        c1,
+		C2:        c2,
+		WaveStart: w,
+	}, nil
+}

@@ -1,0 +1,163 @@
+package schedule
+
+import (
+	"fmt"
+	"math/rand"
+
+	"countnet/internal/topo"
+)
+
+// SearchSpec configures the adversary synthesizer.
+type SearchSpec struct {
+	// C1, C2 bound the per-link delays the adversary may choose.
+	C1, C2 int64
+	// Tokens is how many tokens the adversary controls.
+	Tokens int
+	// Horizon bounds arrival times to [0, Horizon].
+	Horizon int64
+	// Rounds is the hill-climbing budget (candidate mutations tried).
+	Rounds int
+	// Restarts is how many independent random starting points to try.
+	Restarts int
+	// Seed drives the search.
+	Seed int64
+}
+
+// SearchResult is the best adversarial schedule found.
+type SearchResult struct {
+	Arrivals   []Arrival
+	LinkDelays [][]int64 // [token][link-1] in [C1, C2]
+	Violations int
+	Evaluated  int
+}
+
+// Search synthesizes an adversarial timing schedule for g: a randomized
+// hill climb over arrival times and per-token-per-link delays maximizing
+// the number of non-linearizable operations (Definition 2.4). Section 4 of
+// the paper hand-builds such schedules; the search rediscovers them
+// automatically — with c2 > 2*c1 it finds violating executions for trees
+// and bitonic networks without being told the constructions, and with
+// c2 <= 2*c1 it provably cannot find any (Corollary 3.9), which the tests
+// use as a cross-check of both the search and the theory.
+func Search(g *topo.Graph, spec SearchSpec) (*SearchResult, error) {
+	if spec.C1 <= 0 || spec.C2 < spec.C1 {
+		return nil, fmt.Errorf("schedule: bad timing c1=%d c2=%d", spec.C1, spec.C2)
+	}
+	if spec.Tokens < 2 {
+		return nil, fmt.Errorf("schedule: %d tokens", spec.Tokens)
+	}
+	if spec.Horizon < 1 {
+		spec.Horizon = int64(g.Depth()) * spec.C2
+	}
+	if spec.Rounds < 1 {
+		spec.Rounds = 200
+	}
+	if spec.Restarts < 1 {
+		spec.Restarts = 3
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	links := g.Depth()
+	best := &SearchResult{Violations: -1}
+
+	evaluate := func(arr []Arrival, d [][]int64) (int, error) {
+		res, err := Run(g, arr, matrixDelays(d), Options{})
+		if err != nil {
+			return 0, err
+		}
+		best.Evaluated++
+		return res.Report().NonLinearizable, nil
+	}
+
+	for restart := 0; restart < spec.Restarts; restart++ {
+		arr := make([]Arrival, spec.Tokens)
+		d := make([][]int64, spec.Tokens)
+		for k := range arr {
+			arr[k] = Arrival{
+				Time:  rng.Int63n(spec.Horizon + 1),
+				Input: rng.Intn(g.InWidth()),
+			}
+			d[k] = make([]int64, links)
+			for l := range d[k] {
+				d[k][l] = pick(rng, spec.C1, spec.C2)
+			}
+		}
+		score, err := evaluate(arr, d)
+		if err != nil {
+			return nil, err
+		}
+		for round := 0; round < spec.Rounds; round++ {
+			// Mutate one aspect of one token.
+			k := rng.Intn(spec.Tokens)
+			var undo func()
+			switch rng.Intn(3) {
+			case 0:
+				old := arr[k].Time
+				arr[k].Time = rng.Int63n(spec.Horizon + 1)
+				undo = func() { arr[k].Time = old }
+			case 1:
+				old := arr[k].Input
+				arr[k].Input = rng.Intn(g.InWidth())
+				undo = func() { arr[k].Input = old }
+			default:
+				l := rng.Intn(links)
+				old := d[k][l]
+				d[k][l] = pick(rng, spec.C1, spec.C2)
+				undo = func() { d[k][l] = old }
+			}
+			cand, err := evaluate(arr, d)
+			if err != nil {
+				return nil, err
+			}
+			if cand >= score {
+				score = cand // accept (plateau moves allowed)
+			} else {
+				undo()
+			}
+		}
+		if score > best.Violations {
+			best.Violations = score
+			best.Arrivals = cloneArrivals(arr)
+			best.LinkDelays = cloneMatrix(d)
+		}
+	}
+	return best, nil
+}
+
+// pick draws an adversarial delay: the extremes with high probability,
+// uniform otherwise — worst cases live at the boundary.
+func pick(rng *rand.Rand, c1, c2 int64) int64 {
+	switch rng.Intn(4) {
+	case 0:
+		return c1
+	case 1:
+		return c2
+	default:
+		return c1 + rng.Int63n(c2-c1+1)
+	}
+}
+
+// matrixDelays adapts a [token][link-1] matrix to the Delays interface.
+func matrixDelays(d [][]int64) Delays {
+	return DelayFunc(func(tok, link int) int64 {
+		return d[tok][link-1]
+	})
+}
+
+func cloneArrivals(a []Arrival) []Arrival {
+	out := make([]Arrival, len(a))
+	copy(out, a)
+	return out
+}
+
+func cloneMatrix(d [][]int64) [][]int64 {
+	out := make([][]int64, len(d))
+	for i := range d {
+		out[i] = append([]int64(nil), d[i]...)
+	}
+	return out
+}
+
+// Replay runs the found schedule again and returns the full result.
+func (r *SearchResult) Replay(g *topo.Graph) (*Result, error) {
+	return Run(g, r.Arrivals, matrixDelays(r.LinkDelays), Options{})
+}

@@ -1,0 +1,86 @@
+package schedule
+
+import (
+	"testing"
+
+	"countnet/internal/bitonic"
+	"countnet/internal/dtree"
+)
+
+func TestSearchValidation(t *testing.T) {
+	g, err := dtree.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Search(g, SearchSpec{C1: 0, C2: 10, Tokens: 4}); err == nil {
+		t.Error("c1=0 accepted")
+	}
+	if _, err := Search(g, SearchSpec{C1: 10, C2: 5, Tokens: 4}); err == nil {
+		t.Error("c2<c1 accepted")
+	}
+	if _, err := Search(g, SearchSpec{C1: 10, C2: 20, Tokens: 1}); err == nil {
+		t.Error("1 token accepted")
+	}
+}
+
+// TestSearchRediscoversTreeViolation checks the synthesizer finds a
+// violating execution for the counting tree at c2 = 5*c1 without being
+// given the Theorem 4.1 construction.
+func TestSearchRediscoversTreeViolation(t *testing.T) {
+	g, err := dtree.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(g, SearchSpec{
+		C1: 10, C2: 50, Tokens: 14, Horizon: 400, Rounds: 800, Restarts: 6, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations < 1 {
+		t.Fatalf("search found no violations at ratio 5 after %d evaluations", res.Evaluated)
+	}
+	// The found schedule must replay to the same violation count.
+	replay, err := res.Replay(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replay.Report().NonLinearizable; got != res.Violations {
+		t.Errorf("replay violations %d != search %d", got, res.Violations)
+	}
+}
+
+// TestSearchRediscoversBitonicViolation does the same for Bitonic[4].
+func TestSearchRediscoversBitonicViolation(t *testing.T) {
+	g, err := bitonic.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(g, SearchSpec{
+		C1: 10, C2: 40, Tokens: 10, Rounds: 400, Restarts: 4, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations < 1 {
+		t.Fatalf("search found no violations at ratio 4 after %d evaluations", res.Evaluated)
+	}
+}
+
+// TestSearchCannotBeatCorollary39 is the converse cross-check: with
+// c2 <= 2*c1 even the adversary synthesizer must come up empty.
+func TestSearchCannotBeatCorollary39(t *testing.T) {
+	g, err := dtree.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(g, SearchSpec{
+		C1: 10, C2: 20, Tokens: 12, Rounds: 300, Restarts: 3, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("search beat Corollary 3.9: %d violations (either the theory or an engine is broken)", res.Violations)
+	}
+}

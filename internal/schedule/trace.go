@@ -1,0 +1,72 @@
+package schedule
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"countnet/internal/topo"
+)
+
+// traceRecord is the JSONL form of one transition event.
+type traceRecord struct {
+	Time  int64  `json:"t"`
+	Tok   int    `json:"tok"`
+	Node  int32  `json:"node"`
+	Kind  string `json:"kind"`
+	Value *int64 `json:"value,omitempty"`
+}
+
+// WriteTrace emits the execution's transition events as JSON Lines, one
+// event per line in execution order, for external analysis or replay. The
+// Result must have been produced with Options.Trace set.
+func WriteTrace(w io.Writer, g *topo.Graph, res *Result) error {
+	if res == nil {
+		return fmt.Errorf("schedule: nil result")
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range res.Events {
+		rec := traceRecord{
+			Time: ev.Time,
+			Tok:  ev.Tok,
+			Node: int32(ev.Node),
+			Kind: g.KindOf(ev.Node).String(),
+		}
+		if ev.Value >= 0 {
+			v := ev.Value
+			rec.Value = &v
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a JSONL trace back into events (values re-attached,
+// node kinds discarded). It validates monotone timestamps.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	last := int64(-1 << 62)
+	for {
+		var rec traceRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("schedule: trace line %d: %w", len(out)+1, err)
+		}
+		if rec.Time < last {
+			return nil, fmt.Errorf("schedule: trace goes backwards at line %d (%d < %d)", len(out)+1, rec.Time, last)
+		}
+		last = rec.Time
+		ev := Event{Time: rec.Time, Tok: rec.Tok, Node: topo.NodeID(rec.Node), Value: -1}
+		if rec.Value != nil {
+			ev.Value = *rec.Value
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package schedule
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	sc, err := Section1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sc.Graph, sc.Arrive, sc.Delays, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, sc.Graph, res); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(res.Events) {
+		t.Fatalf("round trip: %d events, want %d", len(events), len(res.Events))
+	}
+	for i := range events {
+		if events[i] != res.Events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, events[i], res.Events[i])
+		}
+	}
+}
+
+func TestTraceContainsKindsAndValues(t *testing.T) {
+	sc, err := Section1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sc.Graph, sc.Arrive, sc.Delays, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, sc.Graph, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"kind":"balancer"`, `"kind":"counter"`, `"value":`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+	backwards := `{"t":10,"tok":0,"node":0,"kind":"balancer"}
+{"t":5,"tok":1,"node":0,"kind":"balancer"}
+`
+	if _, err := ReadTrace(strings.NewReader(backwards)); err == nil {
+		t.Error("time-reversed trace accepted")
+	}
+	if err := WriteTrace(&strings.Builder{}, nil, nil); err == nil {
+		t.Error("nil result accepted")
+	}
+}

@@ -1,0 +1,168 @@
+// Package shm is the real shared-memory runtime for balancing networks:
+// goroutine-safe balancers (atomic, mutex, and MCS-queue-lock toggles, plus
+// prism-diffracting balancers), compiled networks that goroutines traverse
+// directly, and a stress driver with delay injection and real-time
+// linearizability monitoring. It is the goroutines-as-processors
+// counterpart of the cycle-level simulator in internal/sim.
+package shm
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"countnet/internal/shm/mcs"
+	"countnet/internal/shm/prism"
+)
+
+// Balancer routes one token to an output port, preserving the step property
+// on the node's outputs. Implementations are safe for concurrent use.
+type Balancer interface {
+	Traverse() int
+}
+
+// Kind selects a toggle implementation.
+type Kind int
+
+// Toggle implementations.
+const (
+	// KindAtomic implements the toggle with a single atomic fetch-and-add.
+	KindAtomic Kind = iota + 1
+	// KindMutex protects the toggle with a sync.Mutex.
+	KindMutex
+	// KindMCS protects the toggle with an MCS queue lock, the paper's
+	// balancer implementation.
+	KindMCS
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindAtomic:
+		return "atomic"
+	case KindMutex:
+		return "mutex"
+	case KindMCS:
+		return "mcs"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// NewBalancer returns a balancer of the given kind with fanOut outputs.
+func NewBalancer(k Kind, fanOut int) (Balancer, error) {
+	if fanOut < 1 {
+		return nil, fmt.Errorf("shm: balancer fanOut %d", fanOut)
+	}
+	switch k {
+	case KindAtomic:
+		return &atomicBalancer{fanOut: int64(fanOut)}, nil
+	case KindMutex:
+		return &mutexBalancer{fanOut: fanOut}, nil
+	case KindMCS:
+		return &mcsBalancer{fanOut: fanOut}, nil
+	default:
+		return nil, fmt.Errorf("shm: unknown balancer kind %d", int(k))
+	}
+}
+
+// atomicBalancer distributes tokens round-robin with one fetch-and-add.
+type atomicBalancer struct {
+	c      atomic.Int64
+	fanOut int64
+}
+
+func (b *atomicBalancer) Traverse() int {
+	return int((b.c.Add(1) - 1) % b.fanOut)
+}
+
+// mutexBalancer is the textbook toggle under a mutex.
+type mutexBalancer struct {
+	mu     sync.Mutex
+	toggle int
+	fanOut int
+}
+
+func (b *mutexBalancer) Traverse() int {
+	b.mu.Lock()
+	out := b.toggle
+	b.toggle = (b.toggle + 1) % b.fanOut
+	b.mu.Unlock()
+	return out
+}
+
+// mcsBalancer is the paper's balancer: a toggle in a critical section
+// protected by an MCS queue lock.
+type mcsBalancer struct {
+	lock   mcs.Lock
+	pool   mcs.Pool
+	toggle int
+	fanOut int
+}
+
+func (b *mcsBalancer) Traverse() int {
+	n := b.pool.Get()
+	b.lock.Acquire(n)
+	out := b.toggle
+	b.toggle = (b.toggle + 1) % b.fanOut
+	b.lock.Release(n)
+	b.pool.Put(n)
+	return out
+}
+
+// Diffracting wraps a two-output toggle with a prism: concurrent pairs
+// collide in the prism and leave on complementary outputs without touching
+// the toggle (Shavit-Zemach diffraction).
+type Diffracting struct {
+	prism  *prism.Prism
+	window time.Duration
+	inner  Balancer
+	rngs   sync.Pool
+	seed   atomic.Int64
+}
+
+// NewDiffracting returns a diffracting balancer over the given two-output
+// toggle. prismWidth is the number of exchanger slots; window how long a
+// token waits for a partner before falling back to the toggle.
+func NewDiffracting(inner Balancer, prismWidth int, window time.Duration) (*Diffracting, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("shm: nil inner balancer")
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("shm: non-positive prism window %v", window)
+	}
+	d := &Diffracting{
+		prism:  prism.New(prismWidth),
+		window: window,
+		inner:  inner,
+	}
+	d.rngs.New = func() any {
+		return rand.New(rand.NewSource(d.seed.Add(1) * 0x9e3779b9))
+	}
+	return d, nil
+}
+
+// Traverse implements Balancer.
+func (d *Diffracting) Traverse() int {
+	rng, _ := d.rngs.Get().(*rand.Rand)
+	out := d.prism.Exchange(d.window, rng)
+	d.rngs.Put(rng)
+	switch out {
+	case prism.First:
+		return 0
+	case prism.Second:
+		return 1
+	default:
+		return d.inner.Traverse()
+	}
+}
+
+// Interface compliance.
+var (
+	_ Balancer = (*atomicBalancer)(nil)
+	_ Balancer = (*mutexBalancer)(nil)
+	_ Balancer = (*mcsBalancer)(nil)
+	_ Balancer = (*Diffracting)(nil)
+)

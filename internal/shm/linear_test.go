@@ -1,0 +1,83 @@
+package shm
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"countnet/internal/dtree"
+	"countnet/internal/lincheck"
+	"countnet/internal/topo"
+)
+
+func TestFilterSequential(t *testing.T) {
+	g, err := dtree.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := compile(t, g, Options{Kind: KindMCS})
+	f := NewFilter(n)
+	for k := 0; k < 20; k++ {
+		if v := f.Traverse(0); v != int64(k) {
+			t.Fatalf("value %d != %d", v, k)
+		}
+	}
+	if f.Returned() != 20 {
+		t.Fatalf("Returned = %d", f.Returned())
+	}
+}
+
+// TestFilterIsLinearizable checks the whole point: under the same injected
+// anomalies that make the bare network return out-of-order values, the
+// filtered counter never produces a non-linearizable operation.
+func TestFilterIsLinearizable(t *testing.T) {
+	g, err := dtree.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := compile(t, g, Options{Kind: KindMCS})
+	f := NewFilter(n)
+	rec := lincheck.NewRecorder(1600)
+	base := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				start := time.Since(base)
+				var v int64
+				if w == 0 {
+					// One chronically slow worker: pause mid-operation by
+					// traversing with a stall hook.
+					v = f.slowTraverse(0, 5*time.Microsecond)
+				} else {
+					v = f.Traverse(0)
+				}
+				rec.Record(int64(start), int64(time.Since(base)), v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if rep := rec.Analyze(); !rep.Linearizable() {
+		t.Errorf("filtered counter produced violations: %v", rep)
+	}
+}
+
+// slowTraverse is Traverse with a stall after every node, used to inject
+// the paper's W anomaly inside the network.
+func (f *Filter) slowTraverse(input int, stall time.Duration) int64 {
+	v := f.net.TraverseHook(input, func(topo.NodeID) {
+		deadline := time.Now().Add(stall)
+		for time.Now().Before(deadline) {
+		}
+	})
+	for spins := 0; f.turn.Load() != v; spins++ {
+		if spins%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+	f.turn.Store(v + 1)
+	return v
+}

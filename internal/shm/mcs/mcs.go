@@ -1,0 +1,86 @@
+// Package mcs implements the queue lock of Mellor-Crummey and Scott
+// ("Algorithms for Scalable Synchronization on Shared-Memory
+// Multiprocessors"), the lock the paper uses to protect every balancer: each
+// waiter spins on its own queue node, so admission is FIFO and the lock
+// generates constant remote traffic per handoff.
+package mcs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Node is one waiter's queue cell. A Node may be reused after Release
+// returns; use a Pool to amortize allocation.
+type Node struct {
+	next   atomic.Pointer[Node]
+	locked atomic.Bool
+	_      [40]byte // keep hot fields of different nodes on separate cache lines
+}
+
+// Lock is an MCS queue lock. The zero value is an unlocked lock.
+type Lock struct {
+	tail atomic.Pointer[Node]
+}
+
+// Acquire enters the critical section, spinning on n until the predecessor
+// hands the lock over. n must not be in use by another Acquire.
+func (l *Lock) Acquire(n *Node) {
+	n.next.Store(nil)
+	n.locked.Store(true)
+	pred := l.tail.Swap(n)
+	if pred == nil {
+		return
+	}
+	pred.next.Store(n)
+	for spins := 0; n.locked.Load(); spins++ {
+		if spins%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// TryAcquire enters the critical section only if the lock is free,
+// returning whether it succeeded.
+func (l *Lock) TryAcquire(n *Node) bool {
+	n.next.Store(nil)
+	n.locked.Store(true)
+	return l.tail.CompareAndSwap(nil, n)
+}
+
+// Release leaves the critical section entered with n.
+func (l *Lock) Release(n *Node) {
+	next := n.next.Load()
+	if next == nil {
+		if l.tail.CompareAndSwap(n, nil) {
+			return
+		}
+		// A successor is linking itself in; wait for the pointer.
+		for spins := 0; ; spins++ {
+			if next = n.next.Load(); next != nil {
+				break
+			}
+			if spins%64 == 63 {
+				runtime.Gosched()
+			}
+		}
+	}
+	next.locked.Store(false)
+}
+
+// Pool hands out queue Nodes.
+type Pool struct {
+	p sync.Pool
+}
+
+// Get returns a Node ready for Acquire.
+func (p *Pool) Get() *Node {
+	if n, ok := p.p.Get().(*Node); ok {
+		return n
+	}
+	return new(Node)
+}
+
+// Put returns a Node after Release.
+func (p *Pool) Put(n *Node) { p.p.Put(n) }

@@ -1,0 +1,123 @@
+package shm
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"countnet/internal/topo"
+)
+
+// Options configures network compilation.
+type Options struct {
+	// Kind selects the toggle implementation; default KindMCS (the
+	// paper's).
+	Kind Kind
+	// Diffract wraps every two-output balancer with a prism.
+	Diffract bool
+	// PrismWidth is the slot count of each prism (default 4).
+	PrismWidth int
+	// PrismWindow is the partner wait (default 5µs).
+	PrismWindow time.Duration
+}
+
+// paddedCounter keeps per-output counters on separate cache lines.
+type paddedCounter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Network is a balancing network compiled for direct traversal by
+// goroutines: the paper's shared-memory counting network. It implements a
+// w-width shared counter whose Traverse returns globally unique,
+// step-property-consistent values.
+type Network struct {
+	g         *topo.Graph
+	balancers []Balancer // indexed by NodeID; nil for counters
+	counters  []paddedCounter
+	w         int64
+}
+
+// Compile builds the runtime for g.
+func Compile(g *topo.Graph, opts Options) (*Network, error) {
+	if g == nil {
+		return nil, fmt.Errorf("shm: nil graph")
+	}
+	if opts.Kind == 0 {
+		opts.Kind = KindMCS
+	}
+	if opts.PrismWidth == 0 {
+		opts.PrismWidth = 4
+	}
+	if opts.PrismWindow == 0 {
+		opts.PrismWindow = 5 * time.Microsecond
+	}
+	n := &Network{
+		g:         g,
+		balancers: make([]Balancer, g.NumNodes()),
+		counters:  make([]paddedCounter, g.OutWidth()),
+		w:         int64(g.OutWidth()),
+	}
+	for _, id := range g.Balancers() {
+		b, err := NewBalancer(opts.Kind, g.FanOut(id))
+		if err != nil {
+			return nil, err
+		}
+		if opts.Diffract && g.FanOut(id) == 2 {
+			if b, err = NewDiffracting(b, opts.PrismWidth, opts.PrismWindow); err != nil {
+				return nil, err
+			}
+		}
+		n.balancers[id] = b
+	}
+	return n, nil
+}
+
+// Graph returns the compiled topology.
+func (n *Network) Graph() *topo.Graph { return n.g }
+
+// InWidth returns the number of network inputs.
+func (n *Network) InWidth() int { return n.g.InWidth() }
+
+// OutWidth returns the number of output counters.
+func (n *Network) OutWidth() int { return int(n.w) }
+
+// Traverse routes one token from the given input to a counter and returns
+// its value. Safe for concurrent use by any number of goroutines.
+func (n *Network) Traverse(input int) int64 {
+	return n.TraverseHook(input, nil)
+}
+
+// TraverseHook is Traverse with a callback invoked after every node
+// transition (balancers and the final counter); the stress driver uses it to
+// inject the paper's W-cycle delays.
+func (n *Network) TraverseHook(input int, afterNode func(id topo.NodeID)) int64 {
+	p := n.g.Input(input)
+	for {
+		id := p.Node
+		if b := n.balancers[id]; b != nil {
+			out := b.Traverse()
+			if afterNode != nil {
+				afterNode(id)
+			}
+			p = n.g.OutDest(id, out)
+			continue
+		}
+		idx := n.g.CounterIndex(id)
+		a := n.counters[idx].v.Add(1) - 1
+		if afterNode != nil {
+			afterNode(id)
+		}
+		return int64(idx) + n.w*a
+	}
+}
+
+// CounterCounts returns the number of tokens that exited each output; in a
+// quiescent state they must satisfy the step property.
+func (n *Network) CounterCounts() []int64 {
+	out := make([]int64, len(n.counters))
+	for i := range n.counters {
+		out[i] = n.counters[i].v.Load()
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+// Package prism implements the diffraction mechanism of Shavit and Zemach's
+// diffracting trees (and the elimination "multi-prism" of Shavit and
+// Touitou): an array of exchanger slots in front of a balancer's toggle
+// where pairs of concurrent tokens collide and leave on complementary
+// outputs without touching the toggle at all. Two tokens taking opposite
+// outputs leave the toggle state unchanged, so diffraction preserves the
+// balancer's step property while removing the sequential bottleneck.
+package prism
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Outcome of an exchange attempt.
+type Outcome int
+
+// Exchange outcomes.
+const (
+	// Timeout means no partner arrived; the caller must fall back to the
+	// toggle.
+	Timeout Outcome = iota + 1
+	// First means the token was diffracted and takes the balancer's first
+	// output.
+	First
+	// Second means the token was diffracted and takes the second output.
+	Second
+)
+
+// waiter is one token camped in a slot awaiting a partner.
+type waiter struct {
+	result chan Outcome
+}
+
+// Prism is a fixed-width array of exchanger slots.
+type Prism struct {
+	slots []atomic.Pointer[waiter]
+	pool  sync.Pool
+}
+
+// New returns a prism with the given number of slots (at least 1).
+func New(width int) *Prism {
+	if width < 1 {
+		width = 1
+	}
+	p := &Prism{slots: make([]atomic.Pointer[waiter], width)}
+	p.pool.New = func() any { return &waiter{result: make(chan Outcome, 1)} }
+	return p
+}
+
+// Width returns the number of slots.
+func (p *Prism) Width() int { return len(p.slots) }
+
+// Exchange attempts to diffract with a partner for at most `window`,
+// using rng to pick a slot. It returns First or Second when a collision
+// happened, Timeout otherwise.
+func (p *Prism) Exchange(window time.Duration, rng *rand.Rand) Outcome {
+	slot := &p.slots[rng.Intn(len(p.slots))]
+	// Partner already waiting? Take it.
+	if w := slot.Load(); w != nil && slot.CompareAndSwap(w, nil) {
+		w.result <- First
+		return Second
+	}
+	me, _ := p.pool.Get().(*waiter)
+	if !slot.CompareAndSwap(nil, me) {
+		// Lost the race to camp; retry against whoever won.
+		p.pool.Put(me)
+		if w := slot.Load(); w != nil && slot.CompareAndSwap(w, nil) {
+			w.result <- First
+			return Second
+		}
+		return Timeout
+	}
+	deadline := time.Now().Add(window)
+	for spins := 0; ; spins++ {
+		select {
+		case out := <-me.result:
+			p.pool.Put(me)
+			return out
+		default:
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		if spins%32 == 31 {
+			runtime.Gosched()
+		}
+	}
+	// Withdraw; a partner may pair with us at the last instant.
+	if slot.CompareAndSwap(me, nil) {
+		p.pool.Put(me)
+		return Timeout
+	}
+	out := <-me.result // partner committed; complete the exchange
+	p.pool.Put(me)
+	return out
+}

@@ -1,0 +1,85 @@
+package prism
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestExchangeTimeoutWhenAlone(t *testing.T) {
+	p := New(4)
+	rng := rand.New(rand.NewSource(1))
+	if out := p.Exchange(time.Millisecond, rng); out != Timeout {
+		t.Fatalf("alone exchange = %v, want Timeout", out)
+	}
+}
+
+func TestExchangePairs(t *testing.T) {
+	p := New(1) // single slot forces the pair to meet
+	var first, second, timeout atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			switch p.Exchange(200*time.Millisecond, rng) {
+			case First:
+				first.Add(1)
+			case Second:
+				second.Add(1)
+			case Timeout:
+				timeout.Add(1)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if first.Load() != 1 || second.Load() != 1 {
+		t.Fatalf("first=%d second=%d timeout=%d, want exactly one of each direction",
+			first.Load(), second.Load(), timeout.Load())
+	}
+}
+
+// TestExchangeComplementary runs many concurrent exchanges and checks the
+// invariant diffraction relies on: diffracted tokens come in (First, Second)
+// pairs, so the two counts are equal.
+func TestExchangeComplementary(t *testing.T) {
+	p := New(4)
+	const goroutines = 8
+	const iters = 500
+	var first, second atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				switch p.Exchange(100*time.Microsecond, rng) {
+				case First:
+					first.Add(1)
+				case Second:
+					second.Add(1)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if first.Load() != second.Load() {
+		t.Fatalf("first=%d second=%d: diffraction must be pairwise", first.Load(), second.Load())
+	}
+	if first.Load() == 0 {
+		t.Error("no diffraction at all under heavy concurrency")
+	}
+}
+
+func TestWidthClamp(t *testing.T) {
+	if New(0).Width() != 1 {
+		t.Error("width 0 not clamped to 1")
+	}
+	if New(8).Width() != 8 {
+		t.Error("width 8 mangled")
+	}
+}

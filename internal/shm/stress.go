@@ -1,0 +1,117 @@
+package shm
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"countnet/internal/lincheck"
+	"countnet/internal/topo"
+)
+
+// StressConfig drives a real-goroutine run of the Section 5 benchmark: a
+// pool of workers traverses the network until Ops operations complete; a
+// fraction of the workers pauses Delay after every node, and every
+// operation is timestamped for linearizability analysis.
+type StressConfig struct {
+	Net     *Network
+	Workers int
+	Ops     int
+	// DelayedFrac is the fraction of workers that pause Delay after each
+	// node (the paper's F).
+	DelayedFrac float64
+	// Delay is the paper's W, as wall-clock time.
+	Delay time.Duration
+	// RandomDelay makes every worker pause uniform [0, Delay] instead.
+	RandomDelay bool
+	// Seed drives random delays and worker input choice.
+	Seed int64
+}
+
+// StressResult reports a stress run.
+type StressResult struct {
+	Ops        []lincheck.Op
+	Report     lincheck.Report
+	Elapsed    time.Duration
+	Throughput float64 // operations per second
+}
+
+// Stress runs the benchmark. Operation timestamps come from the monotonic
+// clock, so "completely precedes" has its real-time meaning.
+func Stress(cfg StressConfig) (*StressResult, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("shm: nil network")
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("shm: %d workers", cfg.Workers)
+	}
+	if cfg.Ops < 1 {
+		return nil, fmt.Errorf("shm: %d ops", cfg.Ops)
+	}
+	if cfg.DelayedFrac < 0 || cfg.DelayedFrac > 1 {
+		return nil, fmt.Errorf("shm: delayed fraction %f", cfg.DelayedFrac)
+	}
+	if cfg.Delay < 0 {
+		return nil, fmt.Errorf("shm: negative delay")
+	}
+	rec := lincheck.NewRecorder(cfg.Ops)
+	var remaining atomic.Int64
+	remaining.Store(int64(cfg.Ops))
+	base := time.Now()
+	nd := int(cfg.DelayedFrac * float64(cfg.Workers))
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < cfg.Workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(wkr)*0x9e3779b9))
+			input := wkr % cfg.Net.InWidth()
+			delayed := wkr < nd
+			var hook func(topo.NodeID)
+			switch {
+			case cfg.RandomDelay && cfg.Delay > 0:
+				hook = func(topo.NodeID) { pause(time.Duration(rng.Int63n(int64(cfg.Delay) + 1))) }
+			case delayed && cfg.Delay > 0:
+				hook = func(topo.NodeID) { pause(cfg.Delay) }
+			}
+			for remaining.Add(-1) >= 0 {
+				start := time.Since(base)
+				v := cfg.Net.TraverseHook(input, hook)
+				end := time.Since(base)
+				rec.Record(int64(start), int64(end), v)
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	elapsed := time.Since(base)
+	res := &StressResult{
+		Ops:     rec.Ops(),
+		Report:  rec.Analyze(),
+		Elapsed: elapsed,
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(len(res.Ops)) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// pause delays the calling goroutine for d: short pauses spin (keeping
+// microsecond precision), long ones sleep.
+func pause(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d >= time.Millisecond {
+		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for spins := 0; time.Now().Before(deadline); spins++ {
+		if spins%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}

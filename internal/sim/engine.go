@@ -1,0 +1,67 @@
+// Package sim is a deterministic discrete-event simulator of a
+// shared-memory multiprocessor executing counting-network operations. It
+// stands in for the Proteus-simulated MIT Alewife machine of Section 5 of
+// "Counting Networks are Practically Linearizable" (see DESIGN.md for the
+// substitution argument): n simulated processors repeatedly traverse a
+// balancing network whose nodes are protected by FIFO queue locks (the MCS
+// model), a fraction F of the processors waits W cycles after traversing
+// each node, and the simulator measures the non-linearizability ratio and
+// the average toggle wait Tog that the paper's (Tog+W)/Tog measure is built
+// from.
+package sim
+
+import "container/heap"
+
+// engine is a minimal deterministic discrete-event core: events fire in
+// (time, insertion-order) order.
+type engine struct {
+	now  int64
+	seq  int64
+	heap evHeap
+}
+
+// at schedules fn to run at time t (>= now).
+func (e *engine) at(t int64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	heap.Push(&e.heap, ev{time: t, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// after schedules fn d cycles from now.
+func (e *engine) after(d int64, fn func()) { e.at(e.now+d, fn) }
+
+// run drains the event queue.
+func (e *engine) run() {
+	for e.heap.Len() > 0 {
+		it := heap.Pop(&e.heap).(ev)
+		e.now = it.time
+		it.fn()
+	}
+}
+
+type ev struct {
+	time int64
+	seq  int64
+	fn   func()
+}
+
+type evHeap []ev
+
+func (h evHeap) Len() int { return len(h) }
+func (h evHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h evHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *evHeap) Push(x any)   { *h = append(*h, x.(ev)) }
+func (h *evHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

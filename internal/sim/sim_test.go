@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"testing"
+
+	"countnet/internal/bitonic"
+	"countnet/internal/dtree"
+	"countnet/internal/topo"
+)
+
+func mustBitonic(t *testing.T, w int) *topo.Graph {
+	t.Helper()
+	g, err := bitonic.New(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustTree(t *testing.T, w int) *topo.Graph {
+	t.Helper()
+	g, err := dtree.New(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunValidation(t *testing.T) {
+	g := mustTree(t, 4)
+	bad := []Config{
+		{Net: nil, Procs: 1, Ops: 1},
+		{Net: g, Procs: 0, Ops: 1},
+		{Net: g, Procs: 1, Ops: 0},
+		{Net: g, Procs: 1, Ops: 1, DelayedFrac: -0.1},
+		{Net: g, Procs: 1, Ops: 1, DelayedFrac: 1.1},
+		{Net: g, Procs: 1, Ops: 1, Wait: -5},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestRunCompletesExactlyOps(t *testing.T) {
+	res, err := Run(Config{Net: mustBitonic(t, 8), Procs: 16, Ops: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ops) != 500 {
+		t.Fatalf("completed %d ops, want 500", len(res.Ops))
+	}
+	// Values are a permutation of 0..499 (counting correctness end to end).
+	seen := make([]bool, 500)
+	for _, op := range res.Ops {
+		if op.Value < 0 || op.Value >= 500 {
+			t.Fatalf("value %d out of range", op.Value)
+		}
+		if seen[op.Value] {
+			t.Fatalf("value %d assigned twice", op.Value)
+		}
+		seen[op.Value] = true
+		if op.End <= op.Start {
+			t.Fatalf("op %+v has non-positive duration", op)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Net: mustTree(t, 8), Procs: 32, Ops: 400, DelayedFrac: 0.5, Wait: 1000, Diffract: true, Seed: 7}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Net = mustTree(t, 8) // fresh stepper state
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Ops) != len(b.Ops) || a.Tog != b.Tog || a.Report.NonLinearizable != b.Report.NonLinearizable {
+		t.Fatalf("non-deterministic: %+v vs %+v", a.Report, b.Report)
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a.Ops[i], b.Ops[i])
+		}
+	}
+}
+
+func TestNoDelayIsLinearizable(t *testing.T) {
+	// W=0 and F=0 controls: the paper reports zero violations; with no
+	// injected delays the effective c2/c1 stays near 1.
+	for name, cfg := range map[string]Config{
+		"bitonic W=0": {Net: mustBitonic(t, 8), Procs: 32, Ops: 1000, DelayedFrac: 0.5, Wait: 0, Seed: 3},
+		"bitonic F=0": {Net: mustBitonic(t, 8), Procs: 32, Ops: 1000, DelayedFrac: 0, Wait: 10000, Seed: 3},
+		"dtree W=0":   {Net: mustTree(t, 8), Procs: 32, Ops: 1000, DelayedFrac: 0.5, Wait: 0, Diffract: true, Seed: 3},
+		"dtree F=100": {Net: mustTree(t, 8), Procs: 32, Ops: 1000, DelayedFrac: 1, Wait: 10000, Diffract: true, Seed: 3},
+	} {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Report.Linearizable() {
+			t.Errorf("%s: %v", name, res.Report)
+		}
+	}
+}
+
+func TestTogCalibration(t *testing.T) {
+	// Low-concurrency bitonic toggle wait should be near the uncontended
+	// cost Acquire+Toggle = 200 cycles, matching the paper's Figure 7
+	// shape (ratio 1.45 at W=100 implies Tog ≈ 222).
+	res, err := Run(Config{Net: mustBitonic(t, 32), Procs: 4, Ops: 2000, DelayedFrac: 0.5, Wait: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tog < 190 || res.Tog > 300 {
+		t.Errorf("bitonic n=4 Tog = %.1f, want ~200-300", res.Tog)
+	}
+	if res.AvgRatio < 1.3 || res.AvgRatio > 1.6 {
+		t.Errorf("bitonic n=4 W=100 ratio = %.2f, want ~1.45", res.AvgRatio)
+	}
+
+	// Diffracting tree: prism path dominates; Tog should be near 900
+	// regardless of concurrency (ratio ~1.11 at W=100).
+	for _, n := range []int{4, 64} {
+		res, err := Run(Config{Net: mustTree(t, 32), Procs: n, Ops: 2000, DelayedFrac: 0.5, Wait: 100, Diffract: true, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Tog < 700 || res.Tog > 1300 {
+			t.Errorf("dtree n=%d Tog = %.1f, want ~900", n, res.Tog)
+		}
+	}
+}
+
+func TestDiffractionEngages(t *testing.T) {
+	res, err := Run(Config{Net: mustTree(t, 8), Procs: 64, Ops: 2000, Diffract: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diffracted == 0 {
+		t.Error("no diffracted traversals at high concurrency")
+	}
+	if res.Diffracted%2 != 0 {
+		t.Errorf("diffracted count %d is odd", res.Diffracted)
+	}
+	lone, err := Run(Config{Net: mustTree(t, 8), Procs: 1, Ops: 50, Diffract: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lone.Diffracted != 0 {
+		t.Errorf("single processor diffracted %d times", lone.Diffracted)
+	}
+	if lone.Toggles == 0 {
+		t.Error("single processor never toggled")
+	}
+}
+
+func TestDelayedProcessorsRaiseRatio(t *testing.T) {
+	base := Config{Net: mustBitonic(t, 8), Procs: 32, Ops: 1000, DelayedFrac: 0.25, Seed: 11}
+	base.Wait = 100
+	low, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Net = mustBitonic(t, 8)
+	base.Wait = 10000
+	high, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.AvgRatio <= low.AvgRatio {
+		t.Errorf("ratio did not grow with W: %.2f vs %.2f", low.AvgRatio, high.AvgRatio)
+	}
+	if high.AvgRatio < 2 {
+		t.Errorf("W=10000 ratio %.2f unexpectedly below 2", high.AvgRatio)
+	}
+}

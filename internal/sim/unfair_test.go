@@ -1,0 +1,76 @@
+package sim
+
+import "testing"
+
+func TestUnfairLocksStillCount(t *testing.T) {
+	m := DefaultMachine()
+	m.UnfairLocks = true
+	res, err := Run(Config{Net: mustBitonic(t, 8), Procs: 32, Ops: 1000, DelayedFrac: 0.25, Wait: 1000, Seed: 4, Machine: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ops) != 1000 {
+		t.Fatalf("completed %d ops", len(res.Ops))
+	}
+	seen := make([]bool, 1000)
+	for _, op := range res.Ops {
+		if op.Value < 0 || op.Value >= 1000 || seen[op.Value] {
+			t.Fatalf("bad value %d", op.Value)
+		}
+		seen[op.Value] = true
+	}
+}
+
+func TestUnfairLocksDeterministic(t *testing.T) {
+	m := DefaultMachine()
+	m.UnfairLocks = true
+	cfg := Config{Net: mustTree(t, 8), Procs: 16, Ops: 500, DelayedFrac: 0.5, Wait: 500, Seed: 6, Machine: m}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Net = mustTree(t, 8)
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tog != b.Tog || a.Report.NonLinearizable != b.Report.NonLinearizable {
+		t.Fatalf("non-deterministic unfair run: %+v vs %+v", a.Report, b.Report)
+	}
+}
+
+// TestUnfairLocksRaiseTailLatency checks the expected qualitative effect of
+// barging admission: the p99 queue wait (and so op latency) grows because
+// early arrivals can starve behind a stream of later ones.
+func TestUnfairLocksRaiseTailLatency(t *testing.T) {
+	base := Config{Net: mustBitonic(t, 8), Procs: 64, Ops: 3000, Seed: 8}
+	fair, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultMachine()
+	m.UnfairLocks = true
+	base.Net = mustBitonic(t, 8)
+	base.Machine = m
+	unfair, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unfair.Latency.P99 < fair.Latency.P99 {
+		t.Logf("note: unfair p99 %d < fair p99 %d (load too low to starve)", unfair.Latency.P99, fair.Latency.P99)
+	}
+	if unfair.Latency.N != 3000 || fair.Latency.N != 3000 {
+		t.Fatalf("latency summaries incomplete: %d/%d", unfair.Latency.N, fair.Latency.N)
+	}
+}
+
+func TestLatencySummaryPopulated(t *testing.T) {
+	res, err := Run(Config{Net: mustTree(t, 4), Procs: 4, Ops: 200, Seed: 2, Diffract: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := res.Latency
+	if l.N != 200 || l.Min <= 0 || l.Mean <= 0 || l.Max < l.P99 || l.P99 < l.P50 {
+		t.Errorf("latency summary = %+v", l)
+	}
+}

@@ -1,0 +1,146 @@
+// Package stats provides the small set of descriptive statistics the
+// benchmark harness reports: mean, standard deviation, min/max,
+// percentiles, and fixed-width histograms over int64 samples (cycles or
+// nanoseconds).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample set.
+type Summary struct {
+	N      int
+	Min    int64
+	Max    int64
+	Mean   float64
+	Stddev float64
+	P50    int64
+	P90    int64
+	P99    int64
+}
+
+// Summarize computes a Summary. An empty input yields a zero Summary.
+func Summarize(samples []int64) Summary {
+	var s Summary
+	s.N = len(samples)
+	if s.N == 0 {
+		return s
+	}
+	sorted := make([]int64, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	var sum, sumSq float64
+	for _, v := range sorted {
+		f := float64(v)
+		sum += f
+		sumSq += f * f
+	}
+	n := float64(s.N)
+	s.Mean = sum / n
+	variance := sumSq/n - s.Mean*s.Mean
+	if variance > 0 {
+		s.Stddev = math.Sqrt(variance)
+	}
+	s.P50 = Percentile(sorted, 50)
+	s.P90 = Percentile(sorted, 90)
+	s.P99 = Percentile(sorted, 99)
+	return s
+}
+
+// Percentile returns the p-th percentile (nearest-rank) of an ascending
+// sorted sample. p is clamped to [0, 100].
+func Percentile(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// String renders the summary in one line.
+func (s Summary) String() string {
+	if s.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%d mean=%.1f p50=%d p90=%d p99=%d max=%d sd=%.1f",
+		s.N, s.Min, s.Mean, s.P50, s.P90, s.P99, s.Max, s.Stddev)
+}
+
+// Histogram tallies samples into width-sized buckets starting at 0;
+// samples beyond the last bucket land in it.
+type Histogram struct {
+	Width   int64
+	Buckets []int64
+}
+
+// NewHistogram returns a histogram with n buckets of the given width.
+func NewHistogram(width int64, n int) *Histogram {
+	if width < 1 {
+		width = 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	return &Histogram{Width: width, Buckets: make([]int64, n)}
+}
+
+// Add tallies one sample; negative samples land in bucket 0.
+func (h *Histogram) Add(v int64) {
+	i := int(v / h.Width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Buckets) {
+		i = len(h.Buckets) - 1
+	}
+	h.Buckets[i]++
+}
+
+// Total returns the number of samples tallied.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, b := range h.Buckets {
+		t += b
+	}
+	return t
+}
+
+// String renders an ASCII bar chart, one row per non-empty bucket.
+func (h *Histogram) String() string {
+	total := h.Total()
+	if total == 0 {
+		return "(empty)"
+	}
+	var max int64
+	for _, b := range h.Buckets {
+		if b > max {
+			max = b
+		}
+	}
+	var sb strings.Builder
+	for i, b := range h.Buckets {
+		if b == 0 {
+			continue
+		}
+		bar := int(40 * b / max)
+		fmt.Fprintf(&sb, "%10d..%-10d %6.2f%% %s\n",
+			int64(i)*h.Width, int64(i+1)*h.Width,
+			100*float64(b)/float64(total), strings.Repeat("#", bar))
+	}
+	return sb.String()
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.String() != "n=0" {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]int64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Mean-3) > 1e-9 {
+		t.Errorf("mean = %f", s.Mean)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("stddev = %f", s.Stddev)
+	}
+	if s.P50 != 3 {
+		t.Errorf("p50 = %d", s.P50)
+	}
+	if s.P99 != 5 {
+		t.Errorf("p99 = %d", s.P99)
+	}
+	if !strings.Contains(s.String(), "mean=3.0") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []int64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	sorted := []int64{10, 20, 30, 40}
+	cases := []struct {
+		p    float64
+		want int64
+	}{{0, 10}, {25, 10}, {50, 20}, {75, 30}, {100, 40}, {-5, 10}, {200, 40}}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile not zero")
+	}
+}
+
+func TestSummaryInvariantsQuick(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]int64, len(raw))
+		for i, v := range raw {
+			samples[i] = int64(v)
+		}
+		s := Summarize(samples)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 &&
+			s.P99 <= s.Max && float64(s.Min) <= s.Mean && s.Mean <= float64(s.Max) &&
+			s.Stddev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 4)
+	for _, v := range []int64{0, 5, 9, 10, 25, 39, 1000, -3} {
+		h.Add(v)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	// buckets: [0,10): 0,5,9,-3 -> 4; [10,20): 10 -> 1; [20,30): 25 -> 1;
+	// [30,..]: 39, 1000 -> 2.
+	want := []int64{4, 1, 1, 2}
+	for i, b := range h.Buckets {
+		if b != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, b, want[i])
+		}
+	}
+	if !strings.Contains(h.String(), "%") {
+		t.Errorf("String = %q", h.String())
+	}
+	if NewHistogram(0, 0).Width != 1 {
+		t.Error("degenerate histogram not clamped")
+	}
+	if (&Histogram{Width: 1, Buckets: make([]int64, 1)}).String() != "(empty)" {
+		t.Error("empty histogram rendering")
+	}
+}

@@ -1,0 +1,220 @@
+package topo
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Out is an open wire end produced by the Builder: either a network input
+// that no balancer consumes yet, or an unconsumed balancer output port.
+// Every Out must be consumed exactly once, by a balancer or by Terminate.
+type Out struct {
+	node NodeID // InvalidNode for a network input
+	port int    // output port, or network input index
+	b    *Builder
+}
+
+// Builder incrementally constructs a Graph. Usage:
+//
+//	b := topo.NewBuilder()
+//	in := b.Inputs(2)
+//	o0, o1 := b.Balancer2(in[0], in[1])
+//	b.Terminate([]topo.Out{o0, o1})
+//	g, err := b.Build()
+//
+// Errors (double consumption, foreign Outs, dangling wires) are latched and
+// reported by Build, so construction code can stay assignment-shaped.
+type Builder struct {
+	nodes    []node
+	inputs   []PortRef
+	counters []NodeID
+	consumed map[Src]bool
+	err      error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{consumed: make(map[Src]bool)}
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Inputs declares v ordered network inputs and returns their wire ends.
+// It may be called multiple times; indices continue from previous calls.
+func (b *Builder) Inputs(v int) []Out {
+	if b.err != nil {
+		return make([]Out, v)
+	}
+	outs := make([]Out, v)
+	for i := range outs {
+		idx := len(b.inputs)
+		b.inputs = append(b.inputs, PortRef{Node: InvalidNode}) // patched on consumption
+		outs[i] = Out{node: InvalidNode, port: idx, b: b}
+	}
+	return outs
+}
+
+// consume marks an Out as used and returns its Src, recording the
+// destination so network inputs learn their entry port.
+func (b *Builder) consume(o Out, dst PortRef) Src {
+	if b.err != nil {
+		return Src{Node: InvalidNode}
+	}
+	if o.b == nil {
+		b.fail("topo: zero Out consumed at node %d port %d", dst.Node, dst.Port)
+		return Src{Node: InvalidNode}
+	}
+	if o.b != b {
+		b.fail("topo: Out from a different Builder consumed at node %d", dst.Node)
+		return Src{Node: InvalidNode}
+	}
+	s := Src{Node: o.node, Port: o.port}
+	if b.consumed[s] {
+		b.fail("topo: wire %+v consumed twice", s)
+		return s
+	}
+	b.consumed[s] = true
+	if s.IsInput() {
+		b.inputs[s.Port] = dst
+	} else {
+		b.nodes[s.Node].out[s.Port] = dst
+	}
+	return s
+}
+
+// BalancerN creates a balancing node consuming the given wire ends as its
+// ordered inputs, with fanOut ordered outputs, and returns the new open
+// output wires.
+func (b *Builder) BalancerN(ins []Out, fanOut int) []Out {
+	if b.err != nil {
+		return make([]Out, max(fanOut, 0))
+	}
+	if len(ins) < 1 {
+		b.fail("topo: balancer with no inputs")
+		return nil
+	}
+	if fanOut < 1 {
+		b.fail("topo: balancer with fanOut %d", fanOut)
+		return nil
+	}
+	id := NodeID(len(b.nodes))
+	n := node{
+		kind:   KindBalancer,
+		fanIn:  len(ins),
+		fanOut: fanOut,
+		in:     make([]Src, len(ins)),
+		out:    make([]PortRef, fanOut),
+	}
+	for p := range n.out {
+		n.out[p] = PortRef{Node: InvalidNode}
+	}
+	b.nodes = append(b.nodes, n)
+	for p, o := range ins {
+		b.nodes[id].in[p] = b.consume(o, PortRef{Node: id, Port: p})
+	}
+	outs := make([]Out, fanOut)
+	for p := range outs {
+		outs[p] = Out{node: id, port: p, b: b}
+	}
+	return outs
+}
+
+// Balancer2 creates the ubiquitous 2-input 2-output balancer.
+func (b *Builder) Balancer2(in0, in1 Out) (Out, Out) {
+	outs := b.BalancerN([]Out{in0, in1}, 2)
+	if len(outs) != 2 {
+		return Out{}, Out{}
+	}
+	return outs[0], outs[1]
+}
+
+// Balancer12 creates a 1-input 2-output balancer (a counting-tree node).
+func (b *Builder) Balancer12(in Out) (Out, Out) {
+	outs := b.BalancerN([]Out{in}, 2)
+	if len(outs) != 2 {
+		return Out{}, Out{}
+	}
+	return outs[0], outs[1]
+}
+
+// Balancer11 creates a 1-input 1-output pass-through balancer, the padding
+// node of Corollary 3.12.
+func (b *Builder) Balancer11(in Out) Out {
+	outs := b.BalancerN([]Out{in}, 1)
+	if len(outs) != 1 {
+		return Out{}
+	}
+	return outs[0]
+}
+
+// Terminate attaches an atomic counter to each wire end, in order: outs[i]
+// becomes network output Y_i. It may be called once.
+func (b *Builder) Terminate(outs []Out) {
+	if b.err != nil {
+		return
+	}
+	if len(b.counters) != 0 {
+		b.fail("topo: Terminate called twice")
+		return
+	}
+	if len(outs) == 0 {
+		b.fail("topo: Terminate with no outputs")
+		return
+	}
+	for i, o := range outs {
+		id := NodeID(len(b.nodes))
+		b.nodes = append(b.nodes, node{
+			kind:  KindCounter,
+			fanIn: 1,
+			in:    make([]Src, 1),
+			index: i,
+		})
+		b.nodes[id].in[0] = b.consume(o, PortRef{Node: id, Port: 0})
+		b.counters = append(b.counters, id)
+	}
+}
+
+// Build validates the network and returns the immutable Graph.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.inputs) == 0 {
+		return nil, errors.New("topo: network has no inputs")
+	}
+	if len(b.counters) == 0 {
+		return nil, errors.New("topo: network has no output counters (missing Terminate)")
+	}
+	for i, p := range b.inputs {
+		if p.Node == InvalidNode {
+			return nil, fmt.Errorf("topo: network input %d is not consumed by any node", i)
+		}
+	}
+	for id := range b.nodes {
+		n := &b.nodes[id]
+		if n.kind != KindBalancer {
+			continue
+		}
+		for p, dst := range n.out {
+			if dst.Node == InvalidNode {
+				return nil, fmt.Errorf("topo: balancer %d output %d is dangling", id, p)
+			}
+		}
+	}
+	g := &Graph{
+		nodes:    b.nodes,
+		inputs:   b.inputs,
+		counters: b.counters,
+	}
+	if err := g.computeLayers(); err != nil {
+		return nil, err
+	}
+	// The Graph now owns the node slices; latch the Builder so further use
+	// cannot mutate the published network.
+	b.err = errors.New("topo: Builder already built")
+	return g, nil
+}

@@ -1,0 +1,75 @@
+package topo
+
+import "fmt"
+
+// cloneBalancers rebuilds g's balancers (not its counters) inside b, with
+// network input i of g fed by feeds[i]. It returns the wires that fed g's
+// counters, in output order.
+func cloneBalancers(b *Builder, g *Graph, feeds []Out) ([]Out, error) {
+	if len(feeds) != g.InWidth() {
+		return nil, fmt.Errorf("topo: %d feeds for %d inputs", len(feeds), g.InWidth())
+	}
+	wires := make(map[Src]Out, len(g.nodes)*2)
+	for i, f := range feeds {
+		wires[Src{Node: InvalidNode, Port: i}] = f
+	}
+	order, err := g.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range order {
+		n := &g.nodes[id]
+		if n.kind != KindBalancer {
+			continue
+		}
+		ins := make([]Out, n.fanIn)
+		for p, s := range n.in {
+			o, ok := wires[s]
+			if !ok {
+				return nil, fmt.Errorf("topo: clone: unmapped wire %+v into node %d", s, id)
+			}
+			ins[p] = o
+		}
+		outs := b.BalancerN(ins, n.fanOut)
+		for p, o := range outs {
+			wires[Src{Node: id, Port: p}] = o
+		}
+	}
+	term := make([]Out, g.OutWidth())
+	for i, c := range g.counters {
+		s := g.nodes[c].in[0]
+		o, ok := wires[s]
+		if !ok {
+			return nil, fmt.Errorf("topo: clone: unmapped wire %+v into counter %d", s, i)
+		}
+		term[i] = o
+	}
+	return term, nil
+}
+
+// Cascade composes two balancing networks in series: output Y_i of `first`
+// feeds network input i of `second`. The cascade of two counting networks
+// is a counting network (the first's quiescent outputs satisfy the step
+// property, which the second preserves), and the cascade of uniform
+// networks is uniform when the first's depth is well-defined.
+func Cascade(first, second *Graph) (*Graph, error) {
+	if first == nil || second == nil {
+		return nil, fmt.Errorf("topo: cascade of nil graph")
+	}
+	if first.OutWidth() != second.InWidth() {
+		return nil, fmt.Errorf("topo: cascade width mismatch: %d outputs into %d inputs",
+			first.OutWidth(), second.InWidth())
+	}
+	b := NewBuilder()
+	ins := b.Inputs(first.InWidth())
+	mid, err := cloneBalancers(b, first, ins)
+	if err != nil {
+		return nil, err
+	}
+	out, err := cloneBalancers(b, second, mid)
+	if err != nil {
+		return nil, err
+	}
+	b.Terminate(out)
+	return b.Build()
+}

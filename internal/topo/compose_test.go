@@ -1,0 +1,69 @@
+package topo
+
+import "testing"
+
+func TestCascadeWidth2(t *testing.T) {
+	a := width2(t)
+	b := width2(t)
+	g, err := Cascade(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Depth() != 2 {
+		t.Errorf("depth = %d, want 2", g.Depth())
+	}
+	if !g.Uniform() {
+		t.Error("cascade of uniform networks not uniform")
+	}
+	if g.NumBalancers() != 2 {
+		t.Errorf("balancers = %d", g.NumBalancers())
+	}
+	if err := VerifyCounting(g, 12, 20, 3); err != nil {
+		t.Error(err)
+	}
+	if err := ExhaustiveCheck(g, []int64{3, 2}, 1_000_000); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCascadeSelfComposition(t *testing.T) {
+	// A network cascaded with itself (as the periodic construction does
+	// with blocks) must still count.
+	a := width2(t)
+	g, err := Cascade(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewSequential(g)
+	for k := 0; k < 6; k++ {
+		v, err := q.Traverse(k % 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != int64(k) {
+			t.Errorf("token %d got %d", k, v)
+		}
+	}
+}
+
+func TestCascadeMismatch(t *testing.T) {
+	a := width2(t)
+	b := NewBuilder()
+	in := b.Inputs(1)
+	o0, o1 := b.Balancer12(in[0])
+	b.Terminate([]Out{o0, o1})
+	oneIn, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Cascade(a, oneIn); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	if _, err := Cascade(nil, a); err == nil {
+		t.Error("nil graph accepted")
+	}
+	// 2-wide into 2-wide-single-input is a mismatch the other way too.
+	if _, err := Cascade(oneIn, a); err != nil {
+		t.Errorf("2-output into 2-input rejected: %v", err)
+	}
+}

@@ -1,0 +1,55 @@
+package topo
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestExhaustiveWidth2(t *testing.T) {
+	g := width2(t)
+	for m := int64(1); m <= 6; m++ {
+		if err := ExhaustiveCheck(g, []int64{m, m / 2}, 1_000_000); err != nil {
+			t.Errorf("m=%d: %v", m, err)
+		}
+	}
+}
+
+func TestExhaustiveRejectsNonCountingNetwork(t *testing.T) {
+	// Two independent balancers feeding four counters: a balancing network
+	// that is NOT a counting network (output 2 can exceed output 1).
+	b := NewBuilder()
+	in := b.Inputs(4)
+	a0, a1 := b.Balancer2(in[0], in[1])
+	c0, c1 := b.Balancer2(in[2], in[3])
+	b.Terminate([]Out{a0, a1, c0, c1})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All tokens into the second balancer: outputs (0,0,1,1) breaks the
+	// step property.
+	if err := ExhaustiveCheck(g, []int64{0, 0, 2, 0}, 1_000_000); err == nil {
+		t.Fatal("non-counting network passed the exhaustive check")
+	}
+}
+
+func TestExhaustiveStateBudget(t *testing.T) {
+	g := width2(t)
+	err := ExhaustiveCheck(g, []int64{5, 5}, 3)
+	if !errors.Is(err, ErrStateSpace) {
+		t.Fatalf("err = %v, want ErrStateSpace", err)
+	}
+}
+
+func TestExhaustiveValidation(t *testing.T) {
+	g := width2(t)
+	if err := ExhaustiveCheck(g, []int64{1}, 100); err == nil {
+		t.Error("wrong perInput length accepted")
+	}
+	if err := ExhaustiveCheck(g, []int64{-1, 0}, 100); err == nil {
+		t.Error("negative token count accepted")
+	}
+	if err := ExhaustiveCheck(g, []int64{0, 0}, 100); err != nil {
+		t.Errorf("zero tokens: %v", err)
+	}
+}

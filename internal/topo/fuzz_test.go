@@ -1,0 +1,67 @@
+package topo
+
+import "testing"
+
+// FuzzDecode feeds arbitrary bytes to the network decoder: it must never
+// panic, and anything it accepts must be a well-formed graph that survives
+// an encode/decode round trip.
+func FuzzDecode(f *testing.F) {
+	g, err := func() (*Graph, error) {
+		b := NewBuilder()
+		in := b.Inputs(2)
+		o0, o1 := b.Balancer2(in[0], in[1])
+		b.Terminate([]Out{o0, o1})
+		return b.Build()
+	}()
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := Encode(g)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{"inputs":1,"balancers":[],"counters":[{"input":0}]}`))
+	f.Add([]byte(`{"inputs":-1}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		g, err := Decode(raw)
+		if err != nil {
+			return
+		}
+		if g.InWidth() < 1 || g.OutWidth() < 1 {
+			t.Fatalf("decoded degenerate graph: %s", Summary(g))
+		}
+		re, err := Encode(g)
+		if err != nil {
+			t.Fatalf("re-encode of accepted graph failed: %v", err)
+		}
+		g2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("round trip of accepted graph failed: %v", err)
+		}
+		if g2.Depth() != g.Depth() || g2.NumBalancers() != g.NumBalancers() {
+			t.Fatalf("round trip changed shape: %s vs %s", Summary(g), Summary(g2))
+		}
+	})
+}
+
+// FuzzStepCounts checks the closed form against its defining properties.
+func FuzzStepCounts(f *testing.F) {
+	f.Add(uint16(7), uint8(3))
+	f.Fuzz(func(t *testing.T, mRaw uint16, wRaw uint8) {
+		m := int64(mRaw)
+		w := int(wRaw)%128 + 1
+		counts := StepCounts(m, w)
+		var sum int64
+		for _, c := range counts {
+			sum += c
+		}
+		if sum != m {
+			t.Fatalf("sum %d != %d", sum, m)
+		}
+		if !StepPropertyHolds(counts) {
+			t.Fatalf("step property fails: %v", counts)
+		}
+	})
+}

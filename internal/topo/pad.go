@@ -1,0 +1,32 @@
+package topo
+
+import "fmt"
+
+// Pad returns a copy of g whose every network input is prefixed by a path of
+// `length` one-input one-output balancers, the construction of Corollary
+// 3.12: given c2 < k*c1 for a known k >= 2, padding a depth-h uniform
+// counting network with h*(k-2) pass-through nodes per input yields a
+// linearizable uniform counting network of depth h*(k-1).
+//
+// length == 0 returns an identical copy.
+func Pad(g *Graph, length int) (*Graph, error) {
+	if length < 0 {
+		return nil, fmt.Errorf("topo: negative padding length %d", length)
+	}
+	b := NewBuilder()
+	ins := b.Inputs(g.InWidth())
+	feeds := make([]Out, len(ins))
+	for i, in := range ins {
+		o := in
+		for j := 0; j < length; j++ {
+			o = b.Balancer11(o)
+		}
+		feeds[i] = o
+	}
+	term, err := cloneBalancers(b, g, feeds)
+	if err != nil {
+		return nil, err
+	}
+	b.Terminate(term)
+	return b.Build()
+}

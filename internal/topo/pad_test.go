@@ -1,0 +1,50 @@
+package topo
+
+import "testing"
+
+func TestPadWidth2(t *testing.T) {
+	g := width2(t)
+	for _, length := range []int{0, 1, 5} {
+		p, err := Pad(g, length)
+		if err != nil {
+			t.Fatalf("Pad(%d): %v", length, err)
+		}
+		if got, want := p.Depth(), g.Depth()+length; got != want {
+			t.Errorf("Pad(%d).Depth = %d, want %d", length, got, want)
+		}
+		if !p.Uniform() {
+			t.Errorf("Pad(%d) not uniform", length)
+		}
+		if got, want := p.NumBalancers(), g.NumBalancers()+length*g.InWidth(); got != want {
+			t.Errorf("Pad(%d).NumBalancers = %d, want %d", length, got, want)
+		}
+		if err := VerifyCounting(p, 16, 20, 7); err != nil {
+			t.Errorf("Pad(%d) is not a counting network: %v", length, err)
+		}
+	}
+}
+
+func TestPadNegative(t *testing.T) {
+	g := width2(t)
+	if _, err := Pad(g, -1); err == nil {
+		t.Fatal("Pad(-1) succeeded")
+	}
+}
+
+func TestPadPreservesSequentialValues(t *testing.T) {
+	g := width2(t)
+	p, err := Pad(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewSequential(p)
+	for k := 0; k < 8; k++ {
+		v, err := q.Traverse(k % p.InWidth())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != int64(k) {
+			t.Errorf("token %d got %d", k, v)
+		}
+	}
+}

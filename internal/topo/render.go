@@ -1,0 +1,76 @@
+package topo
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Render returns a layer-by-layer ASCII description of the network: for
+// each layer, its balancers with their input sources and output
+// destinations, and finally the counters. It is meant for eyeballing small
+// networks in a terminal (use Dot for anything wide).
+func Render(g *Graph) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", Summary(g))
+	for l := 1; l <= g.Depth(); l++ {
+		fmt.Fprintf(&sb, "layer %d:\n", l)
+		for _, id := range g.LayerNodes(l) {
+			if g.KindOf(id) != KindBalancer {
+				continue
+			}
+			ins := make([]string, g.FanIn(id))
+			for p := range ins {
+				s := g.InSrc(id, p)
+				if s.IsInput() {
+					ins[p] = fmt.Sprintf("x%d", s.Port)
+				} else {
+					ins[p] = fmt.Sprintf("b%d.%d", s.Node, s.Port)
+				}
+			}
+			outs := make([]string, g.FanOut(id))
+			for p := range outs {
+				d := g.OutDest(id, p)
+				if g.KindOf(d.Node) == KindCounter {
+					outs[p] = fmt.Sprintf("Y%d", g.CounterIndex(d.Node))
+				} else {
+					outs[p] = fmt.Sprintf("b%d.%d", d.Node, d.Port)
+				}
+			}
+			fmt.Fprintf(&sb, "  b%-4d %s -> %s\n", id, strings.Join(ins, ","), strings.Join(outs, ","))
+		}
+	}
+	fmt.Fprintf(&sb, "counters: Y0..Y%d\n", g.OutWidth()-1)
+	return sb.String()
+}
+
+// Certify runs the strongest verification that fits the budget: the
+// exhaustive all-interleavings model check when the state space allows it,
+// otherwise the randomized counting check, always preceded by the
+// deterministic sequential check. It returns a description of what was
+// proven along with any failure.
+func Certify(g *Graph, stateBudget int, trials int, seed int64) (string, error) {
+	// Small networks: exhaustive over a couple of token loads.
+	if g.NumBalancers() <= 16 {
+		per := make([]int64, g.InWidth())
+		total := int64(g.OutWidth() + 2)
+		for i := int64(0); i < total; i++ {
+			per[int(i)%g.InWidth()]++
+		}
+		err := ExhaustiveCheck(g, per, stateBudget)
+		switch {
+		case err == nil:
+			if rErr := VerifyCounting(g, 4*g.OutWidth(), trials, seed); rErr != nil {
+				return "", rErr
+			}
+			return fmt.Sprintf("exhaustive over %d tokens (all interleavings) + %d randomized trials", total, trials), nil
+		case !errors.Is(err, ErrStateSpace):
+			return "", err
+		}
+		// Fall through to randomized when the budget was exceeded.
+	}
+	if err := VerifyCounting(g, 4*g.OutWidth(), trials, seed); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("randomized (%d trials); too large for the exhaustive check", trials), nil
+}

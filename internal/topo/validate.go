@@ -1,0 +1,101 @@
+package topo
+
+import "fmt"
+
+// computeLayers assigns 1-based layers by longest distance from the network
+// inputs, records per-layer node lists, the network depth, and whether the
+// network is uniform in the sense of Definition 2.1: every node lies on an
+// input-to-output path (guaranteed by the Builder) and all such paths have
+// equal length, which holds exactly when every node's predecessors share a
+// single layer and all counters land on the same layer.
+func (g *Graph) computeLayers() error {
+	uniform := true
+	order, err := g.topoOrder()
+	if err != nil {
+		return err
+	}
+	for _, id := range order {
+		n := &g.nodes[id]
+		lo, hi := -1, -1
+		for _, s := range n.in {
+			var l int
+			if s.IsInput() {
+				l = 0
+			} else {
+				l = g.nodes[s.Node].layer
+			}
+			if lo == -1 || l < lo {
+				lo = l
+			}
+			if l > hi {
+				hi = l
+			}
+		}
+		if lo != hi {
+			uniform = false
+		}
+		n.layer = hi + 1
+	}
+	counterLayer := -1
+	for _, c := range g.counters {
+		l := g.nodes[c].layer
+		if counterLayer == -1 {
+			counterLayer = l
+		} else if l != counterLayer {
+			uniform = false
+			if l > counterLayer {
+				counterLayer = l
+			}
+		}
+	}
+	g.depth = counterLayer - 1
+	g.uniform = uniform
+	g.layers = make([][]NodeID, counterLayer)
+	for id := range g.nodes {
+		l := g.nodes[id].layer
+		if l >= 1 && l <= counterLayer {
+			g.layers[l-1] = append(g.layers[l-1], NodeID(id))
+		}
+	}
+	return nil
+}
+
+// topoOrder returns the node ids in a topological order. The Builder can
+// only produce DAGs, but the check guards hand-constructed graphs and future
+// transforms.
+func (g *Graph) topoOrder() ([]NodeID, error) {
+	indeg := make([]int, len(g.nodes))
+	for id := range g.nodes {
+		for _, s := range g.nodes[id].in {
+			if !s.IsInput() {
+				indeg[id]++
+			}
+		}
+	}
+	queue := make([]NodeID, 0, len(g.nodes))
+	for id := range g.nodes {
+		if indeg[id] == 0 {
+			queue = append(queue, NodeID(id))
+		}
+	}
+	order := make([]NodeID, 0, len(g.nodes))
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		n := &g.nodes[id]
+		if n.kind != KindBalancer {
+			continue
+		}
+		for _, dst := range n.out {
+			indeg[dst.Node]--
+			if indeg[dst.Node] == 0 {
+				queue = append(queue, dst.Node)
+			}
+		}
+	}
+	if len(order) != len(g.nodes) {
+		return nil, fmt.Errorf("topo: network contains a cycle (%d of %d nodes ordered)", len(order), len(g.nodes))
+	}
+	return order, nil
+}

@@ -1,0 +1,114 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// StepPropertyHolds reports whether the tallies satisfy the step property:
+// 0 <= counts[i] - counts[j] <= 1 for all i < j.
+func StepPropertyHolds(counts []int64) bool {
+	for i := 1; i < len(counts); i++ {
+		d := counts[i-1] - counts[i]
+		if d < 0 || d > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// StepCounts returns the unique step-property tallies a_0..a_{w-1} summing
+// to m: a_i = ceil((m-i)/w) for m >= 0.
+func StepCounts(m int64, w int) []int64 {
+	out := make([]int64, w)
+	for i := range out {
+		q := m - int64(i)
+		if q <= 0 {
+			continue
+		}
+		out[i] = (q + int64(w) - 1) / int64(w)
+	}
+	return out
+}
+
+// CheckQuiescentStep runs an execution injecting perInput[i] tokens at each
+// network input, interleaved one transition at a time under rng's control,
+// runs it to quiescence, and verifies the step property on the outputs.
+// A counting network must pass for every interleaving (Section 2).
+func CheckQuiescentStep(g *Graph, perInput []int64, rng *rand.Rand) error {
+	if len(perInput) != g.InWidth() {
+		return fmt.Errorf("topo: %d token counts for %d inputs", len(perInput), g.InWidth())
+	}
+	s := NewStepper(g)
+	var total int64
+	for in, c := range perInput {
+		for k := int64(0); k < c; k++ {
+			s.Inject(in)
+			total++
+		}
+	}
+	live := make([]int, 0, total)
+	for tok := 0; tok < int(total); tok++ {
+		live = append(live, tok)
+	}
+	for len(live) > 0 {
+		i := rng.Intn(len(live))
+		done, err := s.Step(live[i])
+		if err != nil {
+			return err
+		}
+		if done {
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	counts := s.OutputCounts()
+	if !StepPropertyHolds(counts) {
+		return fmt.Errorf("topo: quiescent step property violated: outputs %v for %d tokens", counts, total)
+	}
+	want := StepCounts(total, g.OutWidth())
+	for i := range counts {
+		if counts[i] != want[i] {
+			return fmt.Errorf("topo: output %d saw %d tokens, want %d (of %d total)", i, counts[i], want[i], total)
+		}
+	}
+	return nil
+}
+
+// VerifyCounting performs `trials` randomized quiescent step-property checks
+// with random input distributions of up to maxTokens tokens each, plus one
+// deterministic sequential check. It returns the first violation found.
+// Passing is strong randomized evidence that g is a counting network.
+func VerifyCounting(g *Graph, maxTokens int, trials int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	if err := verifySequential(g, min(maxTokens, 4*g.OutWidth())); err != nil {
+		return err
+	}
+	for t := 0; t < trials; t++ {
+		per := make([]int64, g.InWidth())
+		n := 1 + rng.Intn(maxTokens)
+		for k := 0; k < n; k++ {
+			per[rng.Intn(len(per))]++
+		}
+		if err := CheckQuiescentStep(g, per, rng); err != nil {
+			return fmt.Errorf("trial %d: %w", t, err)
+		}
+	}
+	return nil
+}
+
+// verifySequential checks that m tokens traversing one after another receive
+// exactly the values 0..m-1 in order, regardless of which inputs they use.
+func verifySequential(g *Graph, m int) error {
+	q := NewSequential(g)
+	for k := 0; k < m; k++ {
+		v, err := q.Traverse(k % g.InWidth())
+		if err != nil {
+			return err
+		}
+		if v != int64(k) {
+			return fmt.Errorf("topo: sequential token %d received value %d", k, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+// Package workload defines the benchmark parameter grids of Section 5 of
+// the paper and builds the corresponding networks and simulator
+// configurations, so that the figure harness, the benchmarks, and the tests
+// all run exactly the same experiments.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"countnet/internal/bitonic"
+	"countnet/internal/dtree"
+	"countnet/internal/periodic"
+	"countnet/internal/sim"
+	"countnet/internal/topo"
+)
+
+// NetKind names a network family.
+type NetKind string
+
+// Network families used in the paper's evaluation (periodic is an
+// extension; the paper evaluates bitonic and dtree).
+const (
+	Bitonic  NetKind = "bitonic"
+	DTree    NetKind = "dtree"
+	Periodic NetKind = "periodic"
+)
+
+// Build constructs the network of the given kind and width.
+func (k NetKind) Build(width int) (*topo.Graph, error) {
+	switch k {
+	case Bitonic:
+		return bitonic.New(width)
+	case DTree:
+		return dtree.New(width)
+	case Periodic:
+		return periodic.New(width)
+	default:
+		return nil, fmt.Errorf("workload: unknown network kind %q", k)
+	}
+}
+
+// Paper's Section 5 parameters.
+const (
+	// PaperWidth is the width of both evaluated networks.
+	PaperWidth = 32
+	// PaperOps is the per-run operation count.
+	PaperOps = 5000
+)
+
+// PaperProcs is the concurrency axis of Figures 5-7.
+var PaperProcs = []int{4, 16, 64, 128, 256}
+
+// PaperWaits is the W axis of Figures 5-7, in cycles.
+var PaperWaits = []int64{100, 1000, 10000, 100000}
+
+// PaperFracs is the delayed-processor fraction axis (Figure 5: 25%,
+// Figure 6: 50%).
+var PaperFracs = []float64{0.25, 0.50}
+
+// Spec is one cell of the benchmark grid.
+type Spec struct {
+	Net        NetKind
+	Width      int
+	Procs      int
+	Ops        int
+	Frac       float64 // F: fraction of delayed processors
+	Wait       int64   // W cycles
+	RandomWait bool
+	Seed       int64
+}
+
+// String names the spec compactly, e.g. "bitonic32/n=64/W=10000/F=25%".
+func (s Spec) String() string {
+	tail := ""
+	if s.RandomWait {
+		tail = "/random"
+	}
+	return fmt.Sprintf("%s%d/n=%d/W=%d/F=%.0f%%%s", s.Net, s.Width, s.Procs, s.Wait, 100*s.Frac, tail)
+}
+
+// Config builds the simulator configuration for the spec. The diffracting
+// prism model is enabled exactly for the tree, as in the paper.
+func (s Spec) Config() (sim.Config, error) {
+	g, err := s.Net.Build(s.Width)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	return sim.Config{
+		Net:         g,
+		Procs:       s.Procs,
+		Ops:         s.Ops,
+		DelayedFrac: s.Frac,
+		Wait:        s.Wait,
+		RandomWait:  s.RandomWait,
+		Diffract:    s.Net == DTree,
+		Seed:        s.Seed,
+	}, nil
+}
+
+// Run builds and executes the spec on the simulator.
+func (s Spec) Run() (*sim.Result, error) {
+	cfg, err := s.Config()
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(cfg)
+}
+
+// Aggregate is the multi-seed measurement of one spec: mean and standard
+// deviation of the non-linearizability ratio and of the average c2/c1
+// measure across independent seeds.
+type Aggregate struct {
+	Spec        Spec
+	Seeds       int
+	RatioMean   float64
+	RatioStddev float64
+	AvgC2C1Mean float64
+	TogMean     float64
+	Violations  int // total across seeds
+	TotalOps    int
+}
+
+// RunSeeds runs the spec under `seeds` different seeds (spec.Seed,
+// spec.Seed+1, ...) and aggregates; single-seed figures are point
+// estimates, this gives their spread.
+func (s Spec) RunSeeds(seeds int) (Aggregate, error) {
+	if seeds < 1 {
+		return Aggregate{}, fmt.Errorf("workload: %d seeds", seeds)
+	}
+	agg := Aggregate{Spec: s, Seeds: seeds}
+	var ratios []float64
+	for i := 0; i < seeds; i++ {
+		spec := s
+		spec.Seed = s.Seed + int64(i)
+		res, err := spec.Run()
+		if err != nil {
+			return Aggregate{}, err
+		}
+		r := res.Report.Ratio()
+		ratios = append(ratios, r)
+		agg.RatioMean += r
+		agg.AvgC2C1Mean += res.AvgRatio
+		agg.TogMean += res.Tog
+		agg.Violations += res.Report.NonLinearizable
+		agg.TotalOps += res.Report.Total
+	}
+	n := float64(seeds)
+	agg.RatioMean /= n
+	agg.AvgC2C1Mean /= n
+	agg.TogMean /= n
+	var sq float64
+	for _, r := range ratios {
+		d := r - agg.RatioMean
+		sq += d * d
+	}
+	agg.RatioStddev = math.Sqrt(sq / n)
+	return agg, nil
+}
+
+// FigureGrid returns the specs for one of the paper's figures: frac 0.25
+// reproduces Figure 5, 0.50 Figure 6 (same grid underlies the Figure 7
+// table). Order: for each network, for each W, for each n.
+func FigureGrid(frac float64, seed int64) []Spec {
+	var specs []Spec
+	for _, net := range []NetKind{Bitonic, DTree} {
+		for _, w := range PaperWaits {
+			for _, n := range PaperProcs {
+				specs = append(specs, Spec{
+					Net:   net,
+					Width: PaperWidth,
+					Procs: n,
+					Ops:   PaperOps,
+					Frac:  frac,
+					Wait:  w,
+					Seed:  seed,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// ControlGrid returns the paper's control runs, all of which must be
+// perfectly linearizable: F=0%, F=100%, W=0, and the random-wait variant.
+func ControlGrid(seed int64) []Spec {
+	var specs []Spec
+	for _, net := range []NetKind{Bitonic, DTree} {
+		specs = append(specs,
+			Spec{Net: net, Width: PaperWidth, Procs: 64, Ops: PaperOps, Frac: 0, Wait: 10000, Seed: seed},
+			Spec{Net: net, Width: PaperWidth, Procs: 64, Ops: PaperOps, Frac: 1, Wait: 10000, Seed: seed},
+			Spec{Net: net, Width: PaperWidth, Procs: 64, Ops: PaperOps, Frac: 0.5, Wait: 0, Seed: seed},
+			Spec{Net: net, Width: PaperWidth, Procs: 64, Ops: PaperOps, Frac: 0.5, Wait: 10000, RandomWait: true, Seed: seed},
+		)
+	}
+	return specs
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNetKindBuild(t *testing.T) {
+	for _, k := range []NetKind{Bitonic, DTree, Periodic} {
+		g, err := k.Build(8)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if g.OutWidth() != 8 {
+			t.Errorf("%s: OutWidth = %d", k, g.OutWidth())
+		}
+	}
+	if _, err := NetKind("nonsense").Build(8); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := Spec{Net: Bitonic, Width: 32, Procs: 64, Wait: 10000, Frac: 0.25}
+	if got := s.String(); got != "bitonic32/n=64/W=10000/F=25%" {
+		t.Errorf("String = %q", got)
+	}
+	s.RandomWait = true
+	if !strings.HasSuffix(s.String(), "/random") {
+		t.Errorf("String = %q, want /random suffix", s.String())
+	}
+}
+
+func TestFigureGridShape(t *testing.T) {
+	specs := FigureGrid(0.25, 1)
+	if len(specs) != 2*len(PaperWaits)*len(PaperProcs) {
+		t.Fatalf("grid size %d", len(specs))
+	}
+	for _, s := range specs {
+		if s.Frac != 0.25 || s.Width != PaperWidth || s.Ops != PaperOps {
+			t.Errorf("bad spec %+v", s)
+		}
+	}
+}
+
+func TestControlGridLinearizable(t *testing.T) {
+	for _, spec := range ControlGrid(3) {
+		spec.Ops = 300 // keep the test fast; full runs in cmd/figures
+		spec.Procs = 16
+		res, err := spec.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if res.Report.Ratio() > 0.01 {
+			t.Errorf("%s: non-linearizability ratio %.4f in a control run", spec, res.Report.Ratio())
+		}
+	}
+}
+
+func TestSpecConfigDiffractsOnlyTree(t *testing.T) {
+	cfg, err := Spec{Net: DTree, Width: 8, Procs: 4, Ops: 10}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Diffract {
+		t.Error("tree spec should diffract")
+	}
+	cfg, err = Spec{Net: Bitonic, Width: 8, Procs: 4, Ops: 10}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Diffract {
+		t.Error("bitonic spec should not diffract")
+	}
+}
+
+func TestRunSeeds(t *testing.T) {
+	spec := Spec{Net: DTree, Width: 8, Procs: 8, Ops: 200, Frac: 0.5, Wait: 1000, Seed: 1}
+	agg, err := spec.RunSeeds(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Seeds != 3 || agg.TotalOps != 600 {
+		t.Fatalf("agg = %+v", agg)
+	}
+	if agg.RatioMean < 0 || agg.RatioMean > 1 || agg.RatioStddev < 0 {
+		t.Errorf("ratio stats out of range: %+v", agg)
+	}
+	if agg.TogMean <= 0 || agg.AvgC2C1Mean <= 0 {
+		t.Errorf("means not populated: %+v", agg)
+	}
+	if _, err := spec.RunSeeds(0); err == nil {
+		t.Error("0 seeds accepted")
+	}
+}
+
+func TestRealSpec(t *testing.T) {
+	spec := RealSpec{Net: DTree, Width: 8, Workers: 8, Ops: 500, Frac: 0.25, Delay: 10 * time.Microsecond, Seed: 1}
+	if got := spec.String(); got != "dtree8/g=8/W=10µs/F=25%" {
+		t.Errorf("String = %q", got)
+	}
+	res, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ops) != 500 {
+		t.Fatalf("ops = %d", len(res.Ops))
+	}
+	spec.Net = "bogus"
+	if _, err := spec.Run(); err == nil {
+		t.Error("bogus net accepted")
+	}
+}
+
+func TestRealGridShape(t *testing.T) {
+	specs := RealGrid(0.25, 100, 1)
+	if len(specs) != 2*len(RealGridDelays)*len(RealGridWorkers) {
+		t.Fatalf("grid size %d", len(specs))
+	}
+	for _, s := range specs {
+		if s.Frac != 0.25 || s.Ops != 100 {
+			t.Errorf("bad spec %+v", s)
+		}
+	}
+}
