@@ -15,8 +15,10 @@ import (
 
 	"countnet/internal/core"
 	"countnet/internal/dtree"
+	"countnet/internal/lincheck"
 	"countnet/internal/schedule"
 	"countnet/internal/topo"
+	"countnet/internal/workload"
 )
 
 func main() {
@@ -35,9 +37,13 @@ func run(args []string, w io.Writer) error {
 		sweep  = fs.Bool("sweep", false, "run the Lemma 3.7 start-separation sweep instead of a scenario")
 		search = fs.Bool("search", false, "synthesize an adversarial schedule by hill climbing instead of replaying a scripted one")
 		ratio  = fs.Int64("ratio", 5, "c2/c1 ratio budget for -search")
+		replay = fs.String("replay", "", "replay a serialized concrete schedule (JSONL, e.g. a conformance shrinker reproducer) instead of a scripted scenario")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *replay != "" {
+		return replaySchedule(w, *replay, *trace)
 	}
 	if *sweep {
 		return gapSweep(w, *width)
@@ -117,6 +123,61 @@ func runOne(w io.Writer, name string, width int, tracePath string) error {
 			fmt.Fprintf(w, "  violated op: [%d, %d] -> %d (preceded by value %d)\n",
 				viol.start, viol.end, viol.value, viol.prev)
 		}
+	}
+	return nil
+}
+
+// replaySchedule reruns a concrete schedule serialized by the conformance
+// shrinker (schedule.WriteConcrete) and prints its linearizability report,
+// optionally exporting the transition trace.
+func replaySchedule(w io.Writer, path, tracePath string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	sched, err := schedule.ReadConcrete(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if sched.Net == "" || sched.Width == 0 {
+		return fmt.Errorf("replay: schedule %s names no network (net=%q width=%d)", path, sched.Net, sched.Width)
+	}
+	if len(sched.Tokens) == 0 {
+		return fmt.Errorf("replay: schedule %s has no tokens", path)
+	}
+	g, err := workload.NetKind(sched.Net).Build(sched.Width)
+	if err != nil {
+		return err
+	}
+	res, err := sched.Run(g, schedule.Options{Trace: tracePath != ""})
+	if err != nil {
+		return err
+	}
+	if tracePath != "" {
+		tf, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := schedule.WriteTrace(tf, g, res); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace written to %s (%d events)\n", tracePath, len(res.Events))
+	}
+	fmt.Fprintf(w, "== replay %s ==\n", path)
+	fmt.Fprintf(w, "network: %s\n", topo.Summary(g))
+	fmt.Fprintf(w, "timing:  c1=%d c2=%d (ratio %.2f, linearizable bound is 2)\n",
+		sched.C1, sched.C2, float64(sched.C2)/float64(sched.C1))
+	fmt.Fprintf(w, "result:  %s\n", res.Report())
+	for k, v := range res.Values {
+		fmt.Fprintf(w, "  token %2d: [%6d, %6d] -> %d\n", k, res.Ops[k].Start, res.Ops[k].End, v)
+	}
+	if wit, ok := lincheck.FirstWitness(res.Ops); ok {
+		fmt.Fprintf(w, "witness: %s\n", wit)
 	}
 	return nil
 }

@@ -111,3 +111,66 @@ func TestRunSearchBelowBoundFindsNothing(t *testing.T) {
 		t.Errorf("below-bound search output:\n%s", sb.String())
 	}
 }
+
+func TestRunReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sched.jsonl")
+	sched := &schedule.Concrete{
+		Net: "bitonic", Width: 2, C1: 100, C2: 1000,
+		Tokens: []schedule.ConcreteToken{
+			{Time: 0, Input: 0, Delays: []int64{1000}},
+			{Time: 1, Input: 0, Delays: []int64{100}},
+			{Time: 110, Input: 0, Delays: []int64{100}},
+		},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := schedule.WriteConcrete(f, sched); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-replay", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"replay", "ratio 10.00", "non-linearizable", "witness:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("replay output missing %q:\n%s", want, out)
+		}
+	}
+	// Replay with trace export.
+	trace := filepath.Join(dir, "trace.jsonl")
+	sb.Reset()
+	if err := run([]string{"-replay", path, "-trace", trace}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(trace); err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+}
+
+func TestRunReplayRejectsMissingNetwork(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "anon.jsonl")
+	sched := &schedule.Concrete{
+		C1: 10, C2: 20,
+		Tokens: []schedule.ConcreteToken{{Time: 0, Input: 0}},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := schedule.WriteConcrete(f, sched); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var sb strings.Builder
+	if err := run([]string{"-replay", path}, &sb); err == nil {
+		t.Error("schedule without a network hint accepted")
+	}
+}

@@ -1,0 +1,164 @@
+// Command conformance runs the cross-engine conformance harness: the
+// deterministic corpus (every network family and width through the
+// quiescent executor, the cycle simulator, the shared-memory runtime, and
+// the message-passing runtime) and long schedule-fuzzing soaks against the
+// Section 3 theorems (Corollaries 3.9 and 3.12).
+//
+//	conformance                       corpus + a short soak
+//	conformance -mode soak -rounds 5000 -shrink -out fail.jsonl
+//	conformance -mode cross -widths 2,4,8,16
+//
+// On an invariant breach the offending schedule is shrunk (with -shrink)
+// to a minimal reproducer, serialized as JSONL to -out (default stdout),
+// and the process exits non-zero; replay it with
+// `adversary -replay <file>`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"countnet/internal/conformance"
+	"countnet/internal/schedule"
+	"countnet/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "conformance:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("conformance", flag.ContinueOnError)
+	var (
+		mode   = fs.String("mode", "all", "all, cross (engine corpus), or soak (schedule fuzzing)")
+		nets   = fs.String("nets", "bitonic,periodic,dtree", "comma-separated network families")
+		widths = fs.String("widths", "2,4,8", "comma-separated network widths")
+		rounds = fs.Int("rounds", 100, "fuzzed schedules per (net, width, regime) cell")
+		ops    = fs.Int("ops", 64, "operations per cross-engine run")
+		procs  = fs.Int("procs", 4, "workers per cross-engine run")
+		seed   = fs.Int64("seed", 1, "fuzzing seed")
+		shrink = fs.Bool("shrink", false, "minimize a failing schedule before reporting it")
+		out    = fs.String("out", "", "write the failing schedule (JSONL) to this file instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	kinds, err := parseNets(*nets)
+	if err != nil {
+		return err
+	}
+	sizes, err := parseWidths(*widths)
+	if err != nil {
+		return err
+	}
+	switch *mode {
+	case "all", "cross", "soak":
+	default:
+		return fmt.Errorf("unknown -mode %q (want all, cross, or soak)", *mode)
+	}
+	if *mode != "soak" {
+		if err := crossEngine(w, kinds, sizes, *procs, *ops, *seed); err != nil {
+			return err
+		}
+	}
+	if *mode != "cross" {
+		if err := soak(w, kinds, sizes, *rounds, *seed, *shrink, *out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// crossEngine runs the differential corpus and reports per-cell agreement.
+func crossEngine(w io.Writer, nets []workload.NetKind, widths []int, procs, ops int, seed int64) error {
+	fmt.Fprintln(w, "== cross-engine conformance (quiescent / sim / shm / msgnet) ==")
+	for _, net := range nets {
+		for _, width := range widths {
+			spec := workload.Spec{
+				Net:   net,
+				Width: width,
+				Procs: procs,
+				Ops:   ops,
+				Frac:  0.25,
+				Wait:  200,
+				Seed:  seed,
+			}
+			if err := conformance.CrossCheck(spec); err != nil {
+				return fmt.Errorf("ENGINES DISAGREE on %s: %w", spec, err)
+			}
+			fmt.Fprintf(w, "%-32s 4 engines agree (%d ops)\n", spec, ops)
+		}
+	}
+	return nil
+}
+
+// soak fuzzes random timing schedules and reports, or serializes, the
+// first invariant breach.
+func soak(w io.Writer, nets []workload.NetKind, widths []int, rounds int, seed int64, shrink bool, outPath string) error {
+	fmt.Fprintf(w, "== schedule-fuzzing soak (%d rounds per cell, seed %d) ==\n", rounds, seed)
+	fail, total, err := conformance.Soak(conformance.SoakConfig{
+		Nets:   nets,
+		Widths: widths,
+		Rounds: rounds,
+		Seed:   seed,
+		Shrink: shrink,
+		Progress: func(format string, args ...any) {
+			fmt.Fprintf(w, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if fail == nil {
+		fmt.Fprintf(w, "soak clean: %d schedules, zero invariant breaches\n", total)
+		return nil
+	}
+	fmt.Fprintf(w, "INVARIANT BREACH after %d schedules: %v\n", total, fail)
+	dest := w
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dest = f
+		fmt.Fprintf(w, "reproducer written to %s (replay with: adversary -replay %s)\n", outPath, outPath)
+	}
+	if err := schedule.WriteConcrete(dest, fail.Sched); err != nil {
+		return err
+	}
+	return fmt.Errorf("conformance failed: %s", fail.Error())
+}
+
+func parseNets(s string) ([]workload.NetKind, error) {
+	var out []workload.NetKind
+	for _, part := range strings.Split(s, ",") {
+		kind := workload.NetKind(strings.TrimSpace(part))
+		switch kind {
+		case workload.Bitonic, workload.Periodic, workload.DTree:
+			out = append(out, kind)
+		default:
+			return nil, fmt.Errorf("unknown network family %q", part)
+		}
+	}
+	return out, nil
+}
+
+func parseWidths(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 2 {
+			return nil, fmt.Errorf("bad width %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

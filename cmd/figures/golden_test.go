@@ -1,0 +1,37 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// TestFigure7Golden pins the rendered Figure 7 table for a fixed seed and a
+// small grid. The simulator is deterministic, so any diff means either the
+// simulation or the report rendering changed; regenerate intentionally with
+// `go test ./cmd/figures -run Figure7Golden -update`.
+func TestFigure7Golden(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "7", "-ops", "60", "-width", "8", "-seed", "7"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "figure7.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("figure 7 output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s\nregenerate with -update if the change is intentional", got, want)
+	}
+}

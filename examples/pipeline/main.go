@@ -22,13 +22,6 @@ import (
 	"countnet"
 )
 
-const (
-	producers   = 8
-	consumers   = 8
-	perProducer = 5000
-	capacity    = 128
-)
-
 type item struct {
 	producer int
 	seq      int
@@ -36,12 +29,16 @@ type item struct {
 }
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(8, 8, 5000, 128); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(producers, consumers, perProducer, capacity int) error {
+	if producers*perProducer%consumers != 0 {
+		return fmt.Errorf("total items %d not divisible by %d consumers",
+			producers*perProducer, consumers)
+	}
 	topo, err := countnet.BitonicTopology(16)
 	if err != nil {
 		return err

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+// TestRunSmall drives the producer/consumer pipeline end to end with tiny
+// parameters: the exactly-once accounting inside run is the assertion.
+func TestRunSmall(t *testing.T) {
+	if err := run(2, 2, 20, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunRejectsUnevenSplit covers the divisibility guard.
+func TestRunRejectsUnevenSplit(t *testing.T) {
+	if err := run(2, 3, 5, 8); err == nil {
+		t.Fatal("uneven consumer split accepted")
+	}
+}

@@ -17,12 +17,12 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(8, 1000); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(workers, perWorker int) error {
 	topo, err := countnet.BitonicTopology(8)
 	if err != nil {
 		return err
@@ -34,8 +34,6 @@ func run() error {
 		return err
 	}
 
-	const workers = 8
-	const perWorker = 1000
 	start := time.Now()
 	var wg sync.WaitGroup
 	results := make([][]int64, workers)

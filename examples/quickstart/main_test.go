@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestRunSmall exercises the full example path — topology construction,
+// the MCS-locked counter, and the permutation check — with tiny
+// parameters so it runs in milliseconds under `go test ./...`.
+func TestRunSmall(t *testing.T) {
+	if err := run(2, 50); err != nil {
+		t.Fatal(err)
+	}
+}

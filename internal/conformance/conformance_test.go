@@ -1,0 +1,130 @@
+package conformance
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"countnet/internal/workload"
+)
+
+var corpusNets = []workload.NetKind{workload.Bitonic, workload.Periodic, workload.DTree}
+var corpusWidths = []int{2, 4, 8}
+
+// TestCrossEngineCorpus is the deterministic conformance corpus: every
+// network family at widths 2, 4, 8 through all four execution engines
+// (quiescent topo executor, cycle simulator, shared-memory goroutines,
+// message passing), asserting the universal invariants on each. Any engine
+// disagreement fails with the spec's JSON reproducer attached.
+func TestCrossEngineCorpus(t *testing.T) {
+	for _, net := range corpusNets {
+		for _, width := range corpusWidths {
+			net, width := net, width
+			t.Run(string(net)+"/"+strconv.Itoa(width), func(t *testing.T) {
+				t.Parallel()
+				spec := workload.Spec{
+					Net:   net,
+					Width: width,
+					Procs: 4,
+					Ops:   8 * width,
+					Frac:  0.25,
+					Wait:  200,
+					Seed:  1,
+				}
+				if err := CrossCheck(spec); err != nil {
+					t.Fatalf("engines disagree: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestCor39RandomBoundedSchedules fuzzes random schedules with c2 <= 2*c1
+// through the timed executor: Corollary 3.9 promises zero violations, and
+// the permutation/step/analyzer invariants must hold round after round.
+func TestCor39RandomBoundedSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(39))
+	for _, net := range corpusNets {
+		for _, width := range corpusWidths {
+			g, err := net.Build(width)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for round := 0; round < 30; round++ {
+				if c, err := FuzzRound(rng, net, width, g, true); err != nil {
+					t.Fatalf("%s[%d] round %d: %v\nschedule: %+v", net, width, round, err, c)
+				}
+			}
+		}
+	}
+}
+
+// TestCor312PaddedSchedules fuzzes k-bounded schedules with c2 > 2*c1: the
+// unpadded network may violate (that is Section 4), but the Corollary 3.12
+// padded network must not.
+func TestCor312PaddedSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(312))
+	for _, net := range corpusNets {
+		for _, width := range corpusWidths {
+			g, err := net.Build(width)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for round := 0; round < 15; round++ {
+				c := Generate(rng, net, width, g, GenOptions{Bounded: false})
+				if err := CheckPadded(g, c); err != nil {
+					t.Fatalf("%s[%d] round %d: %v", net, width, round, err)
+				}
+			}
+		}
+	}
+}
+
+// TestSoakShortCleanRun exercises the soak loop end to end on a small
+// matrix; the engines are correct, so no failure may surface.
+func TestSoakShortCleanRun(t *testing.T) {
+	var progress []string
+	fail, rounds, err := Soak(SoakConfig{
+		Nets:   []workload.NetKind{workload.Bitonic},
+		Widths: []int{4},
+		Rounds: 10,
+		Seed:   7,
+		Shrink: true,
+		Progress: func(format string, args ...any) {
+			progress = append(progress, format)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail != nil {
+		t.Fatalf("clean soak reported failure: %v", fail)
+	}
+	if rounds != 20 { // 10 bounded + 10 unbounded
+		t.Errorf("soak ran %d rounds, want 20", rounds)
+	}
+	if len(progress) != 2 {
+		t.Errorf("progress called %d times, want 2", len(progress))
+	}
+}
+
+// TestUniversalInvariantsRejectBadExecutions pins the failure messages the
+// harness produces, so a future refactor cannot silently weaken a check.
+func TestUniversalInvariantsRejectBadExecutions(t *testing.T) {
+	if err := checkPermutation([]int64{0, 2, 3}); err == nil || !strings.Contains(err.Error(), "permutation") {
+		t.Errorf("gap not caught: %v", err)
+	}
+	if err := checkPermutation([]int64{0, 1, 1}); err == nil {
+		t.Errorf("duplicate not caught: %v", err)
+	}
+	if err := checkTallies([]int64{0, 2, 4}, 2); err == nil || !strings.Contains(err.Error(), "step") {
+		t.Errorf("lopsided tallies not caught: %v", err)
+	}
+	if err := checkPermutation([]int64{0, 1, 2, 3}); err != nil {
+		t.Errorf("valid permutation rejected: %v", err)
+	}
+	if err := checkTallies([]int64{0, 1, 2}, 2); err != nil {
+		t.Errorf("valid tallies rejected: %v", err)
+	}
+}

@@ -1,0 +1,173 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"countnet/internal/schedule"
+	"countnet/internal/topo"
+	"countnet/internal/workload"
+)
+
+// GenOptions tunes the random-schedule generator.
+type GenOptions struct {
+	// MaxTokens bounds the tokens per schedule (default 16).
+	MaxTokens int
+	// MaxC1 bounds the minimum link delay (default 50).
+	MaxC1 int64
+	// Bounded forces c2 <= 2*c1, the Corollary 3.9 regime where zero
+	// violations are guaranteed; unbounded schedules draw c2/c1 ratios in
+	// (2, 6], the regime the padding check needs.
+	Bounded bool
+}
+
+func (o GenOptions) withDefaults() GenOptions {
+	if o.MaxTokens <= 0 {
+		o.MaxTokens = 16
+	}
+	if o.MaxC1 <= 0 {
+		o.MaxC1 = 50
+	}
+	return o
+}
+
+// Generate draws one random concrete schedule for g: random timing bounds,
+// random arrival times over a horizon proportional to the network depth,
+// and per-token per-link delays uniform over [c1, c2] with a bias toward
+// the extremes (worst cases live at the boundary, as in schedule.Search).
+func Generate(rng *rand.Rand, net workload.NetKind, width int, g *topo.Graph, opts GenOptions) *schedule.Concrete {
+	opts = opts.withDefaults()
+	c1 := 1 + rng.Int63n(opts.MaxC1)
+	var c2 int64
+	if opts.Bounded {
+		c2 = c1 + rng.Int63n(c1+1) // c2 <= 2*c1
+	} else {
+		c2 = 2*c1 + 1 + rng.Int63n(4*c1) // 2 < c2/c1 <= 6
+	}
+	tokens := 1 + rng.Intn(opts.MaxTokens)
+	links := g.Depth()
+	horizon := int64(links)*c2*2 + 1
+	c := &schedule.Concrete{Net: string(net), Width: width, C1: c1, C2: c2}
+	for k := 0; k < tokens; k++ {
+		tok := schedule.ConcreteToken{
+			Time:   rng.Int63n(horizon),
+			Input:  rng.Intn(g.InWidth()),
+			Delays: make([]int64, links),
+		}
+		for l := range tok.Delays {
+			switch rng.Intn(4) {
+			case 0:
+				tok.Delays[l] = c1
+			case 1:
+				tok.Delays[l] = c2
+			default:
+				tok.Delays[l] = c1 + rng.Int63n(c2-c1+1)
+			}
+		}
+		c.Tokens = append(c.Tokens, tok)
+	}
+	return c
+}
+
+// FuzzRound generates and checks one random schedule for (net, width):
+// bounded rounds assert the full invariant set including Corollary 3.9;
+// unbounded rounds assert the interleaving-independent invariants plus the
+// Corollary 3.12 padded-network guarantee. On failure it returns the
+// offending schedule alongside the error.
+func FuzzRound(rng *rand.Rand, net workload.NetKind, width int, g *topo.Graph, bounded bool) (*schedule.Concrete, error) {
+	c := Generate(rng, net, width, g, GenOptions{Bounded: bounded})
+	if err := CheckConcrete(g, c); err != nil {
+		return c, err
+	}
+	if !bounded {
+		if err := CheckPadded(g, c); err != nil {
+			return c, err
+		}
+	}
+	return c, nil
+}
+
+// SoakConfig configures a long-running fuzzing soak over every network
+// family and width in the matrix.
+type SoakConfig struct {
+	Nets   []workload.NetKind
+	Widths []int
+	// Rounds is the number of schedules per (net, width, regime) cell.
+	Rounds int
+	Seed   int64
+	// Shrink minimizes any failing schedule before reporting it.
+	Shrink bool
+	// Progress, when non-nil, receives a line per completed cell.
+	Progress func(format string, args ...any)
+}
+
+// SoakFailure is one invariant breach found by a soak, with its (possibly
+// shrunk) reproducer schedule.
+type SoakFailure struct {
+	Net     workload.NetKind
+	Width   int
+	Bounded bool
+	Sched   *schedule.Concrete
+	Err     error
+}
+
+// Soak fuzzes random schedules across the configured matrix and returns
+// the first failure, shrunk to a minimal reproducer when cfg.Shrink is
+// set, or nil when every round passed. rounds reports how many schedules
+// were executed.
+func Soak(cfg SoakConfig) (fail *SoakFailure, rounds int, err error) {
+	if len(cfg.Nets) == 0 {
+		cfg.Nets = []workload.NetKind{workload.Bitonic, workload.Periodic, workload.DTree}
+	}
+	if len(cfg.Widths) == 0 {
+		cfg.Widths = []int{2, 4, 8}
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 50
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, net := range cfg.Nets {
+		for _, width := range cfg.Widths {
+			g, err := net.Build(width)
+			if err != nil {
+				return nil, rounds, err
+			}
+			for _, bounded := range []bool{true, false} {
+				for r := 0; r < cfg.Rounds; r++ {
+					c, err := FuzzRound(rng, net, width, g, bounded)
+					rounds++
+					if err == nil {
+						continue
+					}
+					f := &SoakFailure{Net: net, Width: width, Bounded: bounded, Sched: c, Err: err}
+					if cfg.Shrink {
+						f.Sched = Shrink(c, func(cand *schedule.Concrete) bool {
+							if checkErr := CheckConcrete(g, cand); checkErr != nil {
+								return true
+							}
+							if !bounded {
+								return CheckPadded(g, cand) != nil
+							}
+							return false
+						})
+					}
+					return f, rounds, nil
+				}
+				if cfg.Progress != nil {
+					regime := "c2<=2c1"
+					if !bounded {
+						regime = "c2>2c1+pad"
+					}
+					cfg.Progress("%s[%d] %s: %d rounds ok", net, width, regime, cfg.Rounds)
+				}
+			}
+		}
+	}
+	return nil, rounds, nil
+}
+
+// Error renders the failure with its reproducer size.
+func (f *SoakFailure) Error() string {
+	return fmt.Sprintf("%s[%d] (bounded=%v): %v [reproducer: %d tokens]",
+		f.Net, f.Width, f.Bounded, f.Err, len(f.Sched.Tokens))
+}

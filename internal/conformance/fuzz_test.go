@@ -1,0 +1,103 @@
+package conformance
+
+import (
+	"testing"
+
+	"countnet/internal/schedule"
+	"countnet/internal/topo"
+	"countnet/internal/workload"
+)
+
+// decodeFuzzSchedule derives a bounded (c2 <= 2*c1) concrete schedule from
+// fuzzer bytes: network family, width, timing bounds, then per-token
+// arrival/input/delay bytes until the input is exhausted (at most 12
+// tokens). Returns nils when the bytes cannot seed at least one token.
+func decodeFuzzSchedule(raw []byte) (*topo.Graph, *schedule.Concrete) {
+	if len(raw) < 6 {
+		return nil, nil
+	}
+	nets := []workload.NetKind{workload.Bitonic, workload.Periodic, workload.DTree}
+	net := nets[int(raw[0])%len(nets)]
+	width := []int{2, 4, 8}[int(raw[1])%3]
+	g, err := net.Build(width)
+	if err != nil {
+		return nil, nil
+	}
+	c1 := 1 + int64(raw[2])%50
+	c2 := c1 + int64(raw[3])%(c1+1) // bounded: c2 <= 2*c1
+	c := &schedule.Concrete{Net: string(net), Width: width, C1: c1, C2: c2}
+	links := g.Depth()
+	horizon := int64(links)*c2*2 + 1
+	i := 4
+	for len(c.Tokens) < 12 && i+2+links <= len(raw) {
+		tok := schedule.ConcreteToken{
+			Time:   (int64(raw[i]) * horizon) / 256,
+			Input:  int(raw[i+1]) % g.InWidth(),
+			Delays: make([]int64, links),
+		}
+		for l := 0; l < links; l++ {
+			tok.Delays[l] = c1 + int64(raw[i+2+l])%(c2-c1+1)
+		}
+		i += 2 + links
+		c.Tokens = append(c.Tokens, tok)
+	}
+	if len(c.Tokens) == 0 {
+		return nil, nil
+	}
+	return g, c
+}
+
+// FuzzBoundedSchedule is the native fuzzing entry point for the
+// conformance harness: every fuzzer-chosen schedule with c2 <= 2*c1 must
+// satisfy the full invariant set — gapless permutation, exact step
+// tallies, per-balancer step property, analyzer agreement, and zero
+// violations (Corollary 3.9). Run with
+// `go test -fuzz FuzzBoundedSchedule ./internal/conformance`; the seed
+// corpus runs on every plain `go test`.
+func FuzzBoundedSchedule(f *testing.F) {
+	f.Add([]byte{0, 1, 9, 9, 0, 0, 5, 5, 5, 128, 0, 5, 5, 5})
+	f.Add([]byte{1, 2, 49, 49, 10, 1, 1, 1, 1, 1, 1, 20, 0, 9, 9, 9, 9, 9})
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 1, 255, 0, 2})
+	f.Add([]byte{0, 0, 7, 3, 200, 1, 4, 100, 0, 6, 0, 0, 3, 30, 1, 5})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		g, c := decodeFuzzSchedule(raw)
+		if c == nil {
+			return
+		}
+		if err := CheckConcrete(g, c); err != nil {
+			t.Fatalf("invariant breach: %v\nschedule: %+v", err, c)
+		}
+	})
+}
+
+// FuzzPaddedSchedule fuzzes the Corollary 3.12 guarantee: schedules with
+// 2 < c2/c1 <= 3 run violation-free on the padded network.
+func FuzzPaddedSchedule(f *testing.F) {
+	f.Add([]byte{0, 1, 9, 9, 0, 0, 5, 5, 5, 128, 0, 5, 5, 5})
+	f.Add([]byte{2, 0, 3, 200, 0, 0, 1, 90, 0, 2})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		g, c := decodeFuzzSchedule(raw)
+		if c == nil {
+			return
+		}
+		// Re-bound the delays into [c1, 3*c1]: keep c1, widen c2 to three
+		// times it, and stretch each delay proportionally.
+		oldSpan := c.C2 - c.C1
+		c.C2 = 3 * c.C1
+		for k := range c.Tokens {
+			for l, d := range c.Tokens[k].Delays {
+				if oldSpan == 0 {
+					c.Tokens[k].Delays[l] = c.C1
+					continue
+				}
+				c.Tokens[k].Delays[l] = c.C1 + (d-c.C1)*(c.C2-c.C1)/oldSpan
+			}
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("rebound produced invalid schedule: %v", err)
+		}
+		if err := CheckPadded(g, c); err != nil {
+			t.Fatalf("padded invariant breach: %v\nschedule: %+v", err, c)
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package conformance
+
+import "countnet/internal/schedule"
+
+// Predicate reports whether a candidate schedule still fails — still
+// triggers the invariant breach being minimized. Shrinking keeps only
+// transformations that preserve failure.
+type Predicate func(*schedule.Concrete) bool
+
+// shrinkBudget caps predicate evaluations so shrinking a pathological
+// schedule stays fast; greedy minimization converges far below this on
+// realistic failures.
+const shrinkBudget = 4000
+
+// Shrink greedily minimizes a failing schedule while the predicate keeps
+// failing: it removes tokens, pulls arrival times toward zero, simplifies
+// per-link delays toward c1, and drops explicit delay lists entirely. The
+// result is a small reproducer — for real engine bugs typically the two or
+// three tokens whose inversion witnesses the breach — suitable for
+// serialization with schedule.WriteConcrete and replay via
+// `cmd/adversary -replay`.
+func Shrink(c *schedule.Concrete, fails Predicate) *schedule.Concrete {
+	cur := c.Clone()
+	if !fails(cur) {
+		return cur // not failing: nothing to preserve, return as-is
+	}
+	budget := shrinkBudget
+	try := func(cand *schedule.Concrete) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		if fails(cand) {
+			cur = cand
+			return true
+		}
+		return false
+	}
+	for improved := true; improved && budget > 0; {
+		improved = false
+		// Pass 1: drop tokens, highest index first so earlier indices
+		// stay stable while iterating.
+		for i := len(cur.Tokens) - 1; i >= 0; i-- {
+			cand := cur.Clone()
+			cand.Tokens = append(cand.Tokens[:i], cand.Tokens[i+1:]...)
+			if len(cand.Tokens) == 0 {
+				continue
+			}
+			if try(cand) {
+				improved = true
+			}
+		}
+		// Pass 2: pull arrival times toward zero (set to zero, else halve).
+		for i := range cur.Tokens {
+			if cur.Tokens[i].Time == 0 {
+				continue
+			}
+			cand := cur.Clone()
+			cand.Tokens[i].Time = 0
+			if try(cand) {
+				improved = true
+				continue
+			}
+			cand = cur.Clone()
+			cand.Tokens[i].Time /= 2
+			if try(cand) {
+				improved = true
+			}
+		}
+		// Pass 3: simplify delays — drop the whole list (implicit c1
+		// everywhere), else set entries to c1, else halve toward c1.
+		for i := range cur.Tokens {
+			if cur.Tokens[i].Delays != nil {
+				cand := cur.Clone()
+				cand.Tokens[i].Delays = nil
+				if try(cand) {
+					improved = true
+					continue
+				}
+			}
+			for l := range cur.Tokens[i].Delays {
+				d := cur.Tokens[i].Delays[l]
+				if d == cur.C1 {
+					continue
+				}
+				cand := cur.Clone()
+				cand.Tokens[i].Delays[l] = cur.C1
+				if try(cand) {
+					improved = true
+					continue
+				}
+				cand = cur.Clone()
+				cand.Tokens[i].Delays[l] = cur.C1 + (d-cur.C1)/2
+				if try(cand) {
+					improved = true
+				}
+			}
+		}
+		// Pass 4: shift every arrival so the earliest is zero.
+		var minT int64 = 1<<62 - 1
+		for _, tok := range cur.Tokens {
+			if tok.Time < minT {
+				minT = tok.Time
+			}
+		}
+		if minT > 0 {
+			cand := cur.Clone()
+			for i := range cand.Tokens {
+				cand.Tokens[i].Time -= minT
+			}
+			if try(cand) {
+				improved = true
+			}
+		}
+	}
+	return cur
+}

@@ -14,6 +14,15 @@ func FuzzAnalyzeMatchesBrute(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
 	f.Add([]byte{0, 0, 0, 0, 0, 0})
 	f.Add(bytes.Repeat([]byte{7}, 60))
+	// Regression: ties at interval boundaries. Op A is [0,5], op B starts
+	// exactly at A's end (start == end of a neighbor): End < Start is
+	// strict, so B is NOT preceded by A; and op C starts at 6, one past it.
+	f.Add([]byte{0, 5, 9, 5, 2, 3, 6, 1, 3})
+	// Regression: zero-length intervals touching (start == end == 4).
+	f.Add([]byte{4, 0, 8, 4, 0, 2, 4, 3, 1})
+	// Regression: duplicate values across ordered ops (equal values never
+	// violate: the check is strictly greater).
+	f.Add([]byte{0, 1, 7, 2, 1, 7, 4, 1, 7, 6, 1, 2})
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		ops := decodeOps(raw)
 		a, b := Analyze(ops), AnalyzeBrute(ops)
@@ -26,8 +35,36 @@ func FuzzAnalyzeMatchesBrute(f *testing.F) {
 		if a.FirstViolation != b.FirstViolation {
 			t.Fatalf("first: sweep %d != brute %d (ops %v)", a.FirstViolation, b.FirstViolation, ops)
 		}
-		if got := len(Violations(ops)); got != a.NonLinearizable {
+		viols := Violations(ops)
+		if got := len(viols); got != a.NonLinearizable {
 			t.Fatalf("Violations len %d != %d", got, a.NonLinearizable)
+		}
+		// Every witness must be genuine: some op completely precedes the
+		// violated one with exactly the reported value, and the inversion
+		// is positive.
+		for _, v := range viols {
+			if v.PrecedingMax <= v.Op.Value {
+				t.Fatalf("witness not a violation: %+v", v)
+			}
+			ok := false
+			for _, prior := range ops {
+				if prior.End < v.Op.Start && prior.Value == v.PrecedingMax {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("witness preceding value %d unrealized (ops %v)", v.PrecedingMax, ops)
+			}
+		}
+		w, ok := FirstWitness(ops)
+		if ok != (a.NonLinearizable > 0) {
+			t.Fatalf("FirstWitness ok=%v but %d violations", ok, a.NonLinearizable)
+		}
+		if ok {
+			if w.Preceding.End >= w.Violated.Start || w.Preceding.Value <= w.Violated.Value {
+				t.Fatalf("FirstWitness inconsistent: %s", w)
+			}
 		}
 	})
 }

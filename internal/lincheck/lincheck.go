@@ -173,6 +173,45 @@ type Violation struct {
 	PrecedingMax int64 // highest value returned by a completely-preceding op
 }
 
+// Witness pairs a violated operation with a concrete operation that proves
+// the violation: Preceding ended strictly before Violated started yet
+// returned a higher value. The conformance shrinker keys its minimization
+// on witnesses — a two-operation reproducer is exactly one witness.
+type Witness struct {
+	Violated  Op
+	Preceding Op
+}
+
+// String renders the witness in one line.
+func (w Witness) String() string {
+	return fmt.Sprintf("op [%d,%d]->%d violated by preceding [%d,%d]->%d",
+		w.Violated.Start, w.Violated.End, w.Violated.Value,
+		w.Preceding.Start, w.Preceding.End, w.Preceding.Value)
+}
+
+// FirstWitness returns a witness for the earliest-starting violated
+// operation (the one Report.FirstViolation indexes), choosing as Preceding
+// the completely-preceding operation with the highest value. ok is false
+// when the execution is linearizable.
+func FirstWitness(ops []Op) (w Witness, ok bool) {
+	viols := Violations(ops)
+	if len(viols) == 0 {
+		return Witness{}, false
+	}
+	v := viols[0]
+	w.Violated = v.Op
+	found := false
+	for _, prior := range ops {
+		if prior.End < v.Op.Start && prior.Value == v.PrecedingMax {
+			if !found || opLess(prior, w.Preceding) {
+				w.Preceding = prior
+				found = true
+			}
+		}
+	}
+	return w, found
+}
+
 // Recorder collects operations from concurrently running workers. The zero
 // value is ready to use.
 type Recorder struct {
