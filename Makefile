@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race bench clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/shm/... ./internal/msgnet/... ./internal/conformance/...
+
+# bench runs the root (simulator-facing) and internal/shm benchmarks and
+# writes the machine-readable BENCH_sim.json / BENCH_shm.json files whose
+# format is documented in EXPERIMENTS.md (E20).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem . | $(GO) run ./cmd/benchfmt -o BENCH_sim.json
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/shm | $(GO) run ./cmd/benchfmt -o BENCH_shm.json
+
+clean:
+	rm -f BENCH_sim.json BENCH_shm.json

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: countnet
+BenchmarkAtomicCounter-8   	12345678	        95.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNetwork/bitonic8-8         	  500000	      2410 ns/op	     128 B/op	       2 allocs/op
+BenchmarkNoMem-8   	 1000000	      1234 ns/op
+PASS
+ok  	countnet	3.210s
+`
+
+func TestParse(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var echo bytes.Buffer
+	if err := run([]string{"-o", path}, strings.NewReader(sample), &echo); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(echo.String(), "BenchmarkAtomicCounter-8") {
+		t.Fatal("raw bench output not echoed")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d records, want 3", len(doc.Benchmarks))
+	}
+	want := Document{Benchmarks: []Record{
+		{Name: "BenchmarkAtomicCounter-8", Iterations: 12345678, NsPerOp: 95.2},
+		{Name: "BenchmarkNetwork/bitonic8-8", Iterations: 500000, NsPerOp: 2410, BytesPerOp: 128, AllocsPerOp: 2},
+		{Name: "BenchmarkNoMem-8", Iterations: 1000000, NsPerOp: 1234},
+	}}
+	for i, rec := range doc.Benchmarks {
+		if rec != want.Benchmarks[i] {
+			t.Errorf("record %d = %+v, want %+v", i, rec, want.Benchmarks[i])
+		}
+	}
+}
+
+func TestNoBenchmarks(t *testing.T) {
+	if err := run(nil, strings.NewReader("PASS\n"), &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error on input without benchmark lines")
+	}
+}

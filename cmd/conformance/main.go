@@ -11,7 +11,12 @@
 // On an invariant breach the offending schedule is shrunk (with -shrink)
 // to a minimal reproducer, serialized as JSONL to -out (default stdout),
 // and the process exits non-zero; replay it with
-// `adversary -replay <file>`.
+// `adversary -replay <file>`. When the breach is a linearizability
+// violation, -trace (default `<out>.trace.json`) additionally writes the
+// execution trace sliced to the minimal window covering the violating
+// operation pair, in Chrome trace_event format for Perfetto. -metrics
+// dumps run counters as plain text and -pprof serves net/http/pprof plus
+// /metrics while the harness runs.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"strings"
 
 	"countnet/internal/conformance"
+	"countnet/internal/obs"
 	"countnet/internal/schedule"
 	"countnet/internal/workload"
 )
@@ -44,11 +50,26 @@ func run(args []string, w io.Writer) error {
 		ops    = fs.Int("ops", 64, "operations per cross-engine run")
 		procs  = fs.Int("procs", 4, "workers per cross-engine run")
 		seed   = fs.Int64("seed", 1, "fuzzing seed")
-		shrink = fs.Bool("shrink", false, "minimize a failing schedule before reporting it")
-		out    = fs.String("out", "", "write the failing schedule (JSONL) to this file instead of stdout")
+		shrink  = fs.Bool("shrink", false, "minimize a failing schedule before reporting it")
+		out     = fs.String("out", "", "write the failing schedule (JSONL) to this file instead of stdout")
+		trace   = fs.String("trace", "", "write the witness-correlated trace slice to this file (default <out>.trace.json)")
+		metrics = fs.String("metrics", "", `write the plain-text metrics dump to this file ("-" for stdout)`)
+		pprofA  = fs.String("pprof", "", "serve net/http/pprof and /metrics on this address while running")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	reg := obs.NewRegistry()
+	if *pprofA != "" {
+		addr, stop, err := obs.Serve(*pprofA, reg)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(w, "pprof+metrics on http://%s (/debug/pprof/, /metrics)\n", addr)
+	}
+	if *trace == "" && *out != "" {
+		*trace = *out + ".trace.json"
 	}
 	kinds, err := parseNets(*nets)
 	if err != nil {
@@ -63,22 +84,32 @@ func run(args []string, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -mode %q (want all, cross, or soak)", *mode)
 	}
+	var runErr error
 	if *mode != "soak" {
-		if err := crossEngine(w, kinds, sizes, *procs, *ops, *seed); err != nil {
-			return err
-		}
+		runErr = crossEngine(w, reg, kinds, sizes, *procs, *ops, *seed)
 	}
-	if *mode != "cross" {
-		if err := soak(w, kinds, sizes, *rounds, *seed, *shrink, *out); err != nil {
-			return err
-		}
+	if runErr == nil && *mode != "cross" {
+		runErr = soak(w, reg, kinds, sizes, *rounds, *seed, *shrink, *out, *trace)
 	}
-	return nil
+	if *metrics != "" {
+		dest := w
+		if *metrics != "-" {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			dest = f
+		}
+		reg.WriteText(dest)
+	}
+	return runErr
 }
 
 // crossEngine runs the differential corpus and reports per-cell agreement.
-func crossEngine(w io.Writer, nets []workload.NetKind, widths []int, procs, ops int, seed int64) error {
+func crossEngine(w io.Writer, reg *obs.Registry, nets []workload.NetKind, widths []int, procs, ops int, seed int64) error {
 	fmt.Fprintln(w, "== cross-engine conformance (quiescent / sim / shm / msgnet) ==")
+	cells := reg.Counter("conformance_cross_cells_total")
 	for _, net := range nets {
 		for _, width := range widths {
 			spec := workload.Spec{
@@ -93,6 +124,7 @@ func crossEngine(w io.Writer, nets []workload.NetKind, widths []int, procs, ops 
 			if err := conformance.CrossCheck(spec); err != nil {
 				return fmt.Errorf("ENGINES DISAGREE on %s: %w", spec, err)
 			}
+			cells.Inc()
 			fmt.Fprintf(w, "%-32s 4 engines agree (%d ops)\n", spec, ops)
 		}
 	}
@@ -100,9 +132,12 @@ func crossEngine(w io.Writer, nets []workload.NetKind, widths []int, procs, ops 
 }
 
 // soak fuzzes random timing schedules and reports, or serializes, the
-// first invariant breach.
-func soak(w io.Writer, nets []workload.NetKind, widths []int, rounds int, seed int64, shrink bool, outPath string) error {
+// first invariant breach, with its witness-correlated trace slice when the
+// breach is a linearizability violation.
+func soak(w io.Writer, reg *obs.Registry, nets []workload.NetKind, widths []int, rounds int, seed int64, shrink bool, outPath, tracePath string) error {
 	fmt.Fprintf(w, "== schedule-fuzzing soak (%d rounds per cell, seed %d) ==\n", rounds, seed)
+	roundsMetric := reg.Counter("conformance_soak_rounds_total")
+	failures := reg.Counter("conformance_soak_failures_total")
 	fail, total, err := conformance.Soak(conformance.SoakConfig{
 		Nets:   nets,
 		Widths: widths,
@@ -113,6 +148,7 @@ func soak(w io.Writer, nets []workload.NetKind, widths []int, rounds int, seed i
 			fmt.Fprintf(w, format+"\n", args...)
 		},
 	})
+	roundsMetric.Add(int64(total))
 	if err != nil {
 		return err
 	}
@@ -120,6 +156,7 @@ func soak(w io.Writer, nets []workload.NetKind, widths []int, rounds int, seed i
 		fmt.Fprintf(w, "soak clean: %d schedules, zero invariant breaches\n", total)
 		return nil
 	}
+	failures.Inc()
 	fmt.Fprintf(w, "INVARIANT BREACH after %d schedules: %v\n", total, fail)
 	dest := w
 	if outPath != "" {
@@ -134,7 +171,37 @@ func soak(w io.Writer, nets []workload.NetKind, widths []int, rounds int, seed i
 	if err := schedule.WriteConcrete(dest, fail.Sched); err != nil {
 		return err
 	}
+	if tracePath != "" {
+		if err := writeWitnessTrace(w, fail, tracePath); err != nil {
+			fmt.Fprintf(w, "witness trace: %v\n", err)
+		}
+	}
 	return fmt.Errorf("conformance failed: %s", fail.Error())
+}
+
+// writeWitnessTrace reruns the reproducer with tracing and writes the
+// violation-window slice next to it; a breach of a non-linearizability
+// invariant has no witness pair and is reported as such.
+func writeWitnessTrace(w io.Writer, fail *conformance.SoakFailure, path string) error {
+	g, err := fail.Net.Build(fail.Width)
+	if err != nil {
+		return err
+	}
+	wt, ok, err := conformance.TraceWitness(g, fail.Sched)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		fmt.Fprintf(w, "breach has no linearizability witness; no trace slice written\n")
+		return nil
+	}
+	if err := wt.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "witness %s\n", wt.Witness)
+	fmt.Fprintf(w, "trace slice [%d,%d] (%d events) written to %s (open in Perfetto)\n",
+		wt.From, wt.To, len(wt.Events), path)
+	return nil
 }
 
 func parseNets(s string) ([]workload.NetKind, error) {

@@ -3,6 +3,12 @@
 // bounds for a given c1/c2, and optional Graphviz output.
 //
 //	netinfo -net bitonic -width 32 -c1 100 -c2 250 [-dot out.dot] [-verify]
+//	netinfo -net bitonic -width 8 -measure
+//
+// -measure runs a small instrumented workload through each engine — cycle
+// simulator, shared-memory goroutines, message-passing channels — and
+// prints the measured Tog, W, and (Tog+W)/Tog timing ratio per engine
+// (the paper's Section 5 measure, live rather than offline).
 package main
 
 import (
@@ -10,8 +16,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"time"
 
 	"countnet/internal/core"
+	"countnet/internal/msgnet"
+	"countnet/internal/obs"
+	"countnet/internal/shm"
 	"countnet/internal/topo"
 	"countnet/internal/workload"
 )
@@ -33,8 +44,9 @@ func run(args []string, w io.Writer) error {
 		dot    = fs.String("dot", "", "write Graphviz output to this file")
 		jsonP  = fs.String("json", "", "write the network encoding to this JSON file")
 		verify = fs.Bool("verify", false, "certify the counting property (exhaustive for small networks, randomized otherwise)")
-		render = fs.Bool("render", false, "print a layer-by-layer ASCII rendering")
-		pad    = fs.Bool("pad", false, "also show the Corollary 3.12 padded network")
+		render  = fs.Bool("render", false, "print a layer-by-layer ASCII rendering")
+		pad     = fs.Bool("pad", false, "also show the Corollary 3.12 padded network")
+		measure = fs.Bool("measure", false, "run an instrumented workload and print the measured (Tog+W)/Tog per engine")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,5 +107,74 @@ func run(args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "wrote %s\n", *jsonP)
 	}
+	if *measure {
+		return measureEngines(w, workload.NetKind(*net), *width)
+	}
+	return nil
+}
+
+// measureEngines runs the same modest workload (8 processors, 2000
+// operations, F=25% delayed) through all three engines with live metrics
+// and prints one measured-ratio row per engine. The sim row injects
+// W=1000 cycles, the shm row W=20µs; msgnet has no delay-injection hook,
+// so its W is 0 and the ratio degenerates to 1 — its Tog column is still
+// the real measured hop wait.
+func measureEngines(w io.Writer, net workload.NetKind, width int) error {
+	const procs, ops, frac = 8, 2000, 0.25
+	fmt.Fprintf(w, "measured timing ratio, Section 5's (Tog+W)/Tog (%d procs, %d ops, F=%.0f%%)\n",
+		procs, ops, 100.0*frac)
+	fmt.Fprintf(w, "%-8s %-7s %14s %14s %14s\n", "engine", "unit", "Tog", "W", "(Tog+W)/Tog")
+
+	simRes, err := workload.Spec{Net: net, Width: width, Procs: procs, Ops: ops,
+		Frac: frac, Wait: 1000, Seed: 1}.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s %-7s %14.1f %14.0f %14.3f\n", "sim", "cycles", simRes.Tog, 1000.0, simRes.AvgRatio)
+
+	g, err := net.Build(width)
+	if err != nil {
+		return err
+	}
+	n, err := shm.Compile(g, shm.Options{Diffract: net == workload.DTree})
+	if err != nil {
+		return err
+	}
+	shmCfg := shm.StressConfig{Net: n, Workers: procs, Ops: ops, DelayedFrac: frac,
+		Delay: 20 * time.Microsecond, Seed: 1, Metrics: obs.NewRegistry()}
+	shmRes, err := shm.Stress(shmCfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s %-7s %14.1f %14.0f %14.3f\n", "shm", "ns", shmRes.Tog, shmCfg.EffWait(), shmRes.AvgRatio)
+
+	reg := obs.NewRegistry()
+	mn, err := msgnet.StartOpts(g, msgnet.Options{Buffer: 1, Metrics: reg})
+	if err != nil {
+		return err
+	}
+	defer mn.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < ops/procs; i++ {
+				if _, err := mn.Traverse(p % g.InWidth()); err != nil {
+					errs[p] = err
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	r := mn.Ratio()
+	fmt.Fprintf(w, "%-8s %-7s %14.1f %14.0f %14.3f\n", "msgnet", "ns", r.Tog(), 0.0, r.Value())
 	return nil
 }

@@ -6,6 +6,14 @@
 //
 //	stress -net dtree -width 32 -workers 64 -ops 100000 -frac 0.25 -delay 200us
 //	stress -compare -workers 64 -ops 200000
+//	stress -trace run.json -metrics - -pprof :6060
+//
+// With -trace the run's token events (enter, per-balancer traversal with
+// wait duration, counter, exit) are exported as JSONL (.jsonl) or Chrome
+// trace_event format (anything else; open in Perfetto). With -metrics the
+// live metric family — toggle-wait histogram, (Tog+W)/Tog ratio gauge,
+// per-balancer depth, prism CAS retries — is dumped as plain text. -pprof
+// serves net/http/pprof plus the same metrics at /metrics while running.
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"countnet/internal/obs"
 	"countnet/internal/shm"
 	"countnet/internal/stats"
 	"countnet/internal/workload"
@@ -43,6 +52,9 @@ func run(args []string, w io.Writer) error {
 		compare = fs.Bool("compare", false, "compare network throughput against single-point counters")
 		grid    = fs.Bool("grid", false, "run the wall-clock analogue of the paper's Figure 5/6 grid")
 		seed    = fs.Int64("seed", 1, "workload seed")
+		trace   = fs.String("trace", "", "export token trace to this file (.jsonl, or Chrome trace_event otherwise)")
+		metrics = fs.String("metrics", "", `write the plain-text metrics dump to this file ("-" for stdout)`)
+		pprofA  = fs.String("pprof", "", "serve net/http/pprof and /metrics on this address while running")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,10 +84,27 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := shm.Stress(shm.StressConfig{
+	cfg := shm.StressConfig{
 		Net: n, Workers: *workers, Ops: *ops,
 		DelayedFrac: *frac, Delay: *delay, RandomDelay: *random, Seed: *seed,
-	})
+	}
+	var ring *obs.Ring
+	if *trace != "" {
+		ring = obs.NewRing(*workers, 1<<16)
+		cfg.Tracer = ring
+	}
+	if *trace != "" || *metrics != "" || *pprofA != "" {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if *pprofA != "" {
+		addr, stop, err := obs.Serve(*pprofA, cfg.Metrics)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(w, "pprof+metrics on http://%s (/debug/pprof/, /metrics)\n", addr)
+	}
+	res, err := shm.Stress(cfg)
 	if err != nil {
 		return err
 	}
@@ -88,7 +117,48 @@ func run(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "latency (ns): %s\n", stats.Summarize(lat))
 	fmt.Fprintf(w, "linearizability: %s\n", res.Report)
+	if cfg.Metrics != nil {
+		fmt.Fprintf(w, "measured Tog %.0fns, (Tog+W)/Tog = %.3f\n", res.Tog, res.AvgRatio)
+	}
+	if ring != nil {
+		if dropped := ring.Overwritten(); dropped > 0 {
+			fmt.Fprintf(w, "trace ring overwrote %d events (oldest dropped)\n", dropped)
+		}
+		meta := obs.Meta{Engine: "shm", Unit: "ns", Net: *net, Width: *width}
+		if err := exportTrace(*trace, meta, ring.Events()); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace written to %s\n", *trace)
+	}
+	if *metrics != "" {
+		dest := w
+		if *metrics != "-" {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			dest = f
+		}
+		cfg.Metrics.WriteText(dest)
+		if *metrics != "-" {
+			fmt.Fprintf(w, "metrics written to %s\n", *metrics)
+		}
+	}
 	return nil
+}
+
+// exportTrace writes events to path in the format implied by its extension.
+func exportTrace(path string, meta obs.Meta, events []obs.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.ExportFile(f, path, meta, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // realGrid runs the wall-clock analogue of the paper's benchmark grid and

@@ -1,0 +1,80 @@
+package conformance
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"countnet/internal/lincheck"
+	"countnet/internal/obs"
+	"countnet/internal/schedule"
+	"countnet/internal/topo"
+)
+
+// WitnessTrace is a violation correlated with its execution trace: the
+// FirstWitness pair reported by lincheck plus the slice of transition
+// events inside the minimal time window covering both operations. Written
+// next to a shrunken reproducer it gives every fuzz failure a visual
+// timeline.
+type WitnessTrace struct {
+	Witness  lincheck.Witness
+	From, To int64 // the window [From, To] in schedule time units
+	Events   []obs.Event
+	Meta     obs.Meta
+}
+
+// TraceWitness reruns the concrete schedule with tracing on the timed
+// executor and correlates the first linearizability witness with the
+// transition trace. ok is false when the schedule has no violation.
+func TraceWitness(g *topo.Graph, c *schedule.Concrete) (wt *WitnessTrace, ok bool, err error) {
+	res, err := c.Run(g, schedule.Options{Trace: true})
+	if err != nil {
+		return nil, false, fmt.Errorf("witness trace: %w", err)
+	}
+	w, ok := lincheck.FirstWitness(res.Ops)
+	if !ok {
+		return nil, false, nil
+	}
+	from, to := w.Preceding.Start, w.Violated.End
+	if w.Violated.Start < from {
+		from = w.Violated.Start
+	}
+	if w.Preceding.End > to {
+		to = w.Preceding.End
+	}
+	events := make([]obs.Event, 0, len(res.Events))
+	for _, ev := range res.Events {
+		kind, val := obs.KindBalancer, int64(-1)
+		if g.KindOf(ev.Node) == topo.KindCounter {
+			kind, val = obs.KindCounter, ev.Value
+		}
+		events = append(events, obs.Event{T: ev.Time, Kind: kind,
+			P: int32(ev.Tok), Tok: int32(ev.Tok), Node: int32(ev.Node), Value: val})
+	}
+	return &WitnessTrace{
+		Witness: w,
+		From:    from,
+		To:      to,
+		Events:  obs.Window(events, from, to),
+		Meta:    obs.Meta{Engine: "schedule", Unit: "cycles", Net: c.Net, Width: c.Width},
+	}, true, nil
+}
+
+// WriteChrome writes the windowed slice in Chrome trace_event format.
+func (wt *WitnessTrace) WriteChrome(w io.Writer) error {
+	return obs.WriteChromeTrace(w, wt.Meta, wt.Events)
+}
+
+// WriteFile writes the slice to path, picking JSONL or Chrome format from
+// the extension as obs.ExportFile does.
+func (wt *WitnessTrace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.ExportFile(f, path, wt.Meta, wt.Events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

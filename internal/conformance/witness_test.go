@@ -1,0 +1,127 @@
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"countnet/internal/bitonic"
+	"countnet/internal/obs"
+	"countnet/internal/schedule"
+)
+
+// violatingSchedule synthesizes a concrete schedule with at least one
+// linearizability violation (c2 = 4*c1, where the search provably can find
+// one for Bitonic[4]).
+func violatingSchedule(t *testing.T) *schedule.Concrete {
+	t.Helper()
+	g, err := bitonic.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := schedule.Search(g, schedule.SearchSpec{
+		C1: 10, C2: 40, Tokens: 10, Rounds: 400, Restarts: 4, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations < 1 {
+		t.Skip("search found no violation under this seed")
+	}
+	return res.Concrete("bitonic", 4, 10, 40)
+}
+
+// TestTraceWitness checks violation correlation end to end: the witness
+// pair exists, the window covers both its operations, every sliced event
+// overlaps the window, and the slice survives a Chrome-format export.
+func TestTraceWitness(t *testing.T) {
+	c := violatingSchedule(t)
+	g, err := bitonic.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, ok, err := TraceWitness(g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("violating schedule produced no witness")
+	}
+	w := wt.Witness
+	if w.Preceding.End >= w.Violated.Start {
+		t.Fatalf("witness pair not ordered: %s", w)
+	}
+	if w.Preceding.Value <= w.Violated.Value {
+		t.Fatalf("witness pair is not a violation: %s", w)
+	}
+	if wt.From > w.Preceding.Start || wt.To < w.Violated.End {
+		t.Fatalf("window [%d,%d] does not cover witness pair %s", wt.From, wt.To, w)
+	}
+	if len(wt.Events) == 0 {
+		t.Fatal("empty trace slice")
+	}
+	for _, ev := range wt.Events {
+		if ev.T < wt.From || ev.T > wt.To {
+			t.Fatalf("event %+v outside window [%d,%d]", ev, wt.From, wt.To)
+		}
+	}
+	// The violated token's counter event must be inside the slice — that
+	// is the point of the correlation.
+	var counters int
+	for _, ev := range wt.Events {
+		if ev.Kind == obs.KindCounter && ev.Value == w.Violated.Value {
+			counters++
+		}
+	}
+	if counters != 1 {
+		t.Fatalf("violated operation's counter event appears %d times in the slice", counters)
+	}
+
+	var buf bytes.Buffer
+	if err := wt.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+
+	path := filepath.Join(t.TempDir(), "witness.trace.json")
+	if err := wt.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, buf.Bytes()) {
+		t.Fatal("WriteFile and WriteChrome disagree for a .json path")
+	}
+}
+
+// TestTraceWitnessCleanSchedule pins ok=false on a violation-free run.
+func TestTraceWitnessCleanSchedule(t *testing.T) {
+	g, err := bitonic.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &schedule.Concrete{Net: "bitonic", Width: 4, C1: 10, C2: 20}
+	for k := 0; k < 6; k++ {
+		c.Tokens = append(c.Tokens, schedule.ConcreteToken{
+			Time: int64(k * 100), Input: k % g.InWidth(),
+			Delays: []int64{10, 15, 20},
+		})
+	}
+	if _, ok, err := TraceWitness(g, c); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		t.Fatal("c2 <= 2*c1 schedule reported a witness")
+	}
+}

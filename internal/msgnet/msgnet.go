@@ -9,13 +9,43 @@ package msgnet
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"countnet/internal/obs"
 	"countnet/internal/topo"
 )
 
 // token is one counting request in flight.
 type token struct {
 	reply chan int64
+	// Tracing identity and the enqueue timestamp of the current hop;
+	// proc/tok are -1 for untraced traversals.
+	proc, tok int32
+	enq       int64
+}
+
+// Options configures Start.
+type Options struct {
+	// Buffer is the capacity of each node's inbox (0 for fully
+	// synchronous hand-off).
+	Buffer int
+	// Tracer, when non-nil, receives per-hop balancer/counter events (and
+	// enter/exit events from TraverseObs).
+	Tracer obs.Tracer
+	// Metrics, when non-nil, receives the msgnet metric family: hop-wait
+	// histogram, live (Tog+W)/Tog, per-node queue-depth gauges.
+	Metrics *obs.Registry
+	// EffWait is the W (in nanoseconds) of the live (Tog+W)/Tog gauge —
+	// whatever per-node delay the driver injects; zero when none.
+	EffWait float64
+}
+
+// netObs is the observability state of a running network.
+type netObs struct {
+	tr    obs.Tracer
+	clock func() int64
+	tog   *obs.Histogram
+	ratio *obs.Ratio
 }
 
 // Network is a running message-passing balancing network. Create with
@@ -26,21 +56,42 @@ type Network struct {
 	stop   chan struct{}
 	done   sync.WaitGroup
 	closed sync.Once
+	obs    *netObs // nil when neither tracer nor metrics configured
 }
 
 // Start launches one goroutine per node of g. buffer is the capacity of
 // each node's inbox (0 for fully synchronous hand-off).
 func Start(g *topo.Graph, buffer int) (*Network, error) {
+	return StartOpts(g, Options{Buffer: buffer})
+}
+
+// StartOpts is Start with tracing and metrics.
+func StartOpts(g *topo.Graph, opts Options) (*Network, error) {
 	if g == nil {
 		return nil, fmt.Errorf("msgnet: nil graph")
 	}
-	if buffer < 0 {
-		return nil, fmt.Errorf("msgnet: negative buffer %d", buffer)
+	if opts.Buffer < 0 {
+		return nil, fmt.Errorf("msgnet: negative buffer %d", opts.Buffer)
 	}
+	buffer := opts.Buffer
 	n := &Network{
 		g:     g,
 		inbox: make([]chan token, g.NumNodes()),
 		stop:  make(chan struct{}),
+	}
+	if opts.Tracer != nil || opts.Metrics != nil {
+		base := time.Now()
+		o := &netObs{tr: opts.Tracer, clock: func() int64 { return int64(time.Since(base)) }}
+		if opts.Metrics != nil {
+			o.tog = opts.Metrics.Histogram("msgnet_hop_wait_ns")
+			o.ratio = opts.Metrics.Ratio("msgnet_avg_c2c1", opts.EffWait)
+			for id := 0; id < g.NumNodes(); id++ {
+				id := id
+				opts.Metrics.GaugeFunc(fmt.Sprintf("msgnet_node%03d_queue", id),
+					func() float64 { return float64(len(n.inbox[id])) })
+			}
+		}
+		n.obs = o
 	}
 	for id := range n.inbox {
 		n.inbox[id] = make(chan token, buffer)
@@ -67,9 +118,23 @@ func (n *Network) balancer(id topo.NodeID) {
 		dests[p] = n.inbox[n.g.OutDest(id, p).Node]
 	}
 	toggle := 0
+	o := n.obs
 	for {
 		select {
 		case t := <-n.inbox[id]:
+			if o != nil {
+				now := o.clock()
+				wait := now - t.enq
+				if o.tog != nil {
+					o.tog.Observe(wait)
+					o.ratio.Observe(wait)
+				}
+				if o.tr != nil {
+					o.tr.Record(obs.Event{T: now, Dur: wait, Kind: obs.KindBalancer,
+						P: t.proc, Tok: t.tok, Node: int32(id), Value: -1})
+				}
+				t.enq = o.clock()
+			}
 			dest := dests[toggle]
 			toggle = (toggle + 1) % fanOut
 			select {
@@ -89,11 +154,18 @@ func (n *Network) counter(id topo.NodeID) {
 	idx := int64(n.g.CounterIndex(id))
 	w := int64(n.g.OutWidth())
 	var count int64
+	o := n.obs
 	for {
 		select {
 		case t := <-n.inbox[id]:
-			t.reply <- idx + w*count
+			v := idx + w*count
 			count++
+			if o != nil && o.tr != nil {
+				now := o.clock()
+				o.tr.Record(obs.Event{T: now, Dur: now - t.enq, Kind: obs.KindCounter,
+					P: t.proc, Tok: t.tok, Node: int32(id), Value: v})
+			}
+			t.reply <- v
 		case <-n.stop:
 			return
 		}
@@ -103,10 +175,27 @@ func (n *Network) counter(id topo.NodeID) {
 // Traverse sends one token into network input `input` and returns its
 // counter value. It must not be called after Close.
 func (n *Network) Traverse(input int) (int64, error) {
+	return n.TraverseObs(input, -1, -1)
+}
+
+// TraverseObs is Traverse carrying a (proc, tok) tracing identity: when the
+// network was started with a tracer, the token's hops are recorded under
+// that identity along with enter/exit events.
+func (n *Network) TraverseObs(input int, proc, tok int32) (int64, error) {
 	if input < 0 || input >= n.g.InWidth() {
 		return 0, fmt.Errorf("msgnet: input %d out of range [0,%d)", input, n.g.InWidth())
 	}
-	t := token{reply: make(chan int64, 1)}
+	t := token{reply: make(chan int64, 1), proc: proc, tok: tok}
+	o := n.obs
+	var start int64
+	if o != nil {
+		start = o.clock()
+		t.enq = start
+		if o.tr != nil && tok >= 0 {
+			o.tr.Record(obs.Event{T: start, Kind: obs.KindEnter,
+				P: proc, Tok: tok, Node: -1, Value: -1})
+		}
+	}
 	entry := n.inbox[n.g.Input(input).Node]
 	select {
 	case entry <- t:
@@ -115,10 +204,24 @@ func (n *Network) Traverse(input int) (int64, error) {
 	}
 	select {
 	case v := <-t.reply:
+		if o != nil && o.tr != nil && tok >= 0 {
+			now := o.clock()
+			o.tr.Record(obs.Event{T: now, Dur: now - start, Kind: obs.KindExit,
+				P: proc, Tok: tok, Node: -1, Value: v})
+		}
 		return v, nil
 	case <-n.stop:
 		return 0, fmt.Errorf("msgnet: network closed")
 	}
+}
+
+// Ratio returns the live (Tog+W)/Tog estimator, or nil when the network
+// was started without metrics.
+func (n *Network) Ratio() *obs.Ratio {
+	if n.obs == nil {
+		return nil
+	}
+	return n.obs.ratio
 }
 
 // Close stops every node goroutine and waits for them to exit. Tokens in

@@ -1,0 +1,107 @@
+package msgnet
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"countnet/internal/bitonic"
+	"countnet/internal/obs"
+)
+
+// TestTracedTraversals runs concurrent traced traversals and checks the
+// trace records every token's enter, per-hop balancer events, counter
+// event, and exit, with exit values forming a permutation.
+func TestTracedTraversals(t *testing.T) {
+	g, err := bitonic.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := obs.NewRing(8, 1<<13)
+	reg := obs.NewRegistry()
+	n, err := StartOpts(g, Options{Buffer: 1, Tracer: ring, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	const workers, per = 8, 25
+	const ops = workers * per
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tok := int32(w*per + i)
+				if _, err := n.TraverseObs(w%g.InWidth(), int32(w), tok); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	events := ring.Events()
+	counts := map[obs.Kind]int{}
+	var values []int64
+	perTok := map[int32]int{}
+	for _, ev := range events {
+		counts[ev.Kind]++
+		if ev.Kind == obs.KindBalancer {
+			if ev.Dur < 0 {
+				t.Fatalf("negative hop wait: %+v", ev)
+			}
+			perTok[ev.Tok]++
+		}
+		if ev.Kind == obs.KindExit {
+			values = append(values, ev.Value)
+		}
+	}
+	if counts[obs.KindEnter] != ops || counts[obs.KindExit] != ops || counts[obs.KindCounter] != ops {
+		t.Fatalf("trace kind counts wrong: %v, want %d enter/exit/counter", counts, ops)
+	}
+	depth := g.Depth()
+	for tok, hops := range perTok {
+		if hops != depth {
+			t.Fatalf("token %d traversed %d balancers, network depth is %d", tok, hops, depth)
+		}
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	for i, v := range values {
+		if v != int64(i) {
+			t.Fatalf("traced exit values are not a permutation at %d: %d", i, v)
+		}
+	}
+
+	// Metrics saw every hop; the ratio with EffWait=0 degenerates to 1.
+	if got := reg.Histogram("msgnet_hop_wait_ns").Count(); got != int64(ops*depth) {
+		t.Fatalf("hop histogram has %d samples, want %d", got, ops*depth)
+	}
+	if r := n.Ratio(); r == nil || r.Value() != 1 {
+		t.Fatalf("W=0 ratio should be exactly 1, got %v", r)
+	}
+}
+
+// TestUntracedUnaffected pins that plain Start/Traverse still works and
+// records nothing.
+func TestUntracedUnaffected(t *testing.T) {
+	g, err := bitonic.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Start(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if n.Ratio() != nil {
+		t.Fatal("untraced network has obs state")
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := n.Traverse(i % g.InWidth()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

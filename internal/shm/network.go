@@ -36,6 +36,7 @@ type Network struct {
 	balancers []Balancer // indexed by NodeID; nil for counters
 	counters  []paddedCounter
 	w         int64
+	obs       *netObs // nil until EnableObs; read-only afterwards
 }
 
 // Compile builds the runtime for g.

@@ -1,0 +1,131 @@
+package shm
+
+import (
+	"fmt"
+	"time"
+
+	"countnet/internal/obs"
+	"countnet/internal/topo"
+)
+
+// netObs is the observability state attached to a compiled Network by
+// EnableObs: tracer, clock, and the live metric family (the (Tog+W)/Tog
+// estimator, toggle-wait histogram, per-balancer queue-depth gauges, and
+// the prism CAS-retry counter).
+type netObs struct {
+	tr    obs.Tracer  // nil when tracing disabled
+	clock func() int64 // nanoseconds on the run's monotonic timeline
+	tog   *obs.Histogram
+	ratio *obs.Ratio
+	depth []*obs.Gauge // per-balancer concurrent-traverser count; nil entries for counters
+	fai   *obs.Counter // output-counter fetch-and-adds
+}
+
+// Ratio returns the live (Tog+W)/Tog estimator, or nil when EnableObs has
+// not been called with a registry.
+func (n *Network) Ratio() *obs.Ratio {
+	if n.obs == nil {
+		return nil
+	}
+	return n.obs.ratio
+}
+
+// EnableObs attaches a tracer and/or metrics registry to the network.
+// clock supplies timestamps in nanoseconds on a monotonic timeline shared
+// with the caller's operation records (nil defaults to time-since-now).
+// effW is the effective injected per-node delay in nanoseconds, the W of
+// the live (Tog+W)/Tog gauge. Call before any traversal; not safe to call
+// concurrently with Traverse.
+func (n *Network) EnableObs(tr obs.Tracer, reg *obs.Registry, clock func() int64, effW float64) {
+	if tr == nil && reg == nil {
+		return
+	}
+	if clock == nil {
+		base := time.Now()
+		clock = func() int64 { return int64(time.Since(base)) }
+	}
+	o := &netObs{tr: tr, clock: clock}
+	if reg != nil {
+		o.tog = reg.Histogram("shm_tog_wait_ns")
+		o.ratio = reg.Ratio("shm_avg_c2c1", effW)
+		o.fai = reg.Counter("shm_counter_fai_total")
+		o.depth = make([]*obs.Gauge, len(n.balancers))
+		var prisms int64
+		for _, id := range n.g.Balancers() {
+			o.depth[id] = reg.Gauge(fmt.Sprintf("shm_bal%03d_depth", id))
+			if _, ok := n.balancers[id].(*Diffracting); ok {
+				prisms++
+			}
+		}
+		if prisms > 0 {
+			reg.GaugeFunc("shm_prism_cas_retries_total", func() float64 {
+				var total int64
+				for _, b := range n.balancers {
+					if d, ok := b.(*Diffracting); ok {
+						total += d.Retries()
+					}
+				}
+				return float64(total)
+			})
+		}
+	}
+	n.obs = o
+}
+
+// TraverseObs routes one token like Traverse while recording per-node
+// trace events and metrics under the identity (proc, tok). It falls back
+// to the untraced path when EnableObs was not called. afterNode mirrors
+// TraverseHook's delay-injection callback.
+func (n *Network) TraverseObs(input int, proc, tok int32, afterNode func(id topo.NodeID)) int64 {
+	o := n.obs
+	if o == nil {
+		return n.TraverseHook(input, afterNode)
+	}
+	p := n.g.Input(input)
+	for {
+		id := p.Node
+		if b := n.balancers[id]; b != nil {
+			t0 := o.clock()
+			if o.depth != nil {
+				o.depth[id].Add(1)
+			}
+			out := b.Traverse()
+			t1 := o.clock()
+			if o.depth != nil {
+				o.depth[id].Add(-1)
+			}
+			if o.tog != nil {
+				o.tog.Observe(t1 - t0)
+				o.ratio.Observe(t1 - t0)
+			}
+			if o.tr != nil {
+				o.tr.Record(obs.Event{T: t1, Dur: t1 - t0, Kind: obs.KindBalancer,
+					P: proc, Tok: tok, Node: int32(id), Value: -1})
+			}
+			if afterNode != nil {
+				afterNode(id)
+			}
+			p = n.g.OutDest(id, out)
+			continue
+		}
+		idx := n.g.CounterIndex(id)
+		t0 := o.clock()
+		a := n.counters[idx].v.Add(1) - 1
+		t1 := o.clock()
+		v := int64(idx) + n.w*a
+		if o.fai != nil {
+			o.fai.Inc()
+		}
+		if o.tr != nil {
+			o.tr.Record(obs.Event{T: t1, Dur: t1 - t0, Kind: obs.KindCounter,
+				P: proc, Tok: tok, Node: int32(id), Value: v})
+		}
+		if afterNode != nil {
+			afterNode(id)
+		}
+		return v
+	}
+}
+
+// Retries returns how many prism CAS races this balancer has lost.
+func (d *Diffracting) Retries() int64 { return d.prism.Retries() }

@@ -1,0 +1,144 @@
+package shm
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"countnet/internal/bitonic"
+	"countnet/internal/obs"
+)
+
+// TestStressTraced runs the goroutine stress driver with tracing and
+// metrics on and checks the trace is a faithful record: one enter and one
+// exit per operation, exit values forming the permutation 0..Ops-1, every
+// balancer event carrying a non-negative duration, and the live
+// (Tog+W)/Tog surfaced in the result.
+func TestStressTraced(t *testing.T) {
+	g, err := bitonic.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Compile(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := obs.NewRing(8, 1<<13)
+	reg := obs.NewRegistry()
+	const ops = 400
+	res, err := Stress(StressConfig{
+		Net: n, Workers: 8, Ops: ops,
+		DelayedFrac: 0.5, Delay: 5 * time.Microsecond,
+		Seed: 42, Tracer: ring, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Total != ops {
+		t.Fatalf("analyzed %d ops, want %d", res.Report.Total, ops)
+	}
+	if res.Tog <= 0 || res.AvgRatio <= 1 {
+		t.Fatalf("live timing measure not populated: Tog=%f AvgRatio=%f", res.Tog, res.AvgRatio)
+	}
+
+	events := ring.Events()
+	if ring.Overwritten() > 0 {
+		t.Fatalf("ring overwrote %d events; size it up", ring.Overwritten())
+	}
+	counts := map[obs.Kind]int{}
+	var values []int64
+	for _, ev := range events {
+		counts[ev.Kind]++
+		if ev.Kind == obs.KindBalancer && ev.Dur < 0 {
+			t.Fatalf("negative balancer duration: %+v", ev)
+		}
+		if ev.Kind == obs.KindExit {
+			values = append(values, ev.Value)
+		}
+	}
+	if counts[obs.KindEnter] != ops || counts[obs.KindExit] != ops || counts[obs.KindCounter] != ops {
+		t.Fatalf("trace kind counts wrong: %v, want %d enter/exit/counter", counts, ops)
+	}
+	if counts[obs.KindBalancer] == 0 {
+		t.Fatal("no balancer events traced")
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	for i, v := range values {
+		if v != int64(i) {
+			t.Fatalf("traced exit values are not a permutation at %d: %d", i, v)
+		}
+	}
+
+	// Metrics agree with the trace: the wait histogram saw every balancer
+	// traversal, the depth gauges drained back to zero, and the exported
+	// ratio matches the result.
+	if got := reg.Histogram("shm_tog_wait_ns").Count(); got != int64(counts[obs.KindBalancer]) {
+		t.Fatalf("wait histogram has %d samples, trace has %d balancer events", got, counts[obs.KindBalancer])
+	}
+	if got := reg.Counter("shm_counter_fai_total").Value(); got != ops {
+		t.Fatalf("counter fetch-and-adds %d, want %d", got, ops)
+	}
+	for _, id := range g.Balancers() {
+		if d := reg.Gauge(obsGaugeName(int(id))).Value(); d != 0 {
+			t.Fatalf("balancer %d depth gauge stuck at %d after quiescence", id, d)
+		}
+	}
+	var txt bytes.Buffer
+	reg.WriteText(&txt)
+	if !bytes.Contains(txt.Bytes(), []byte("shm_avg_c2c1")) {
+		t.Fatalf("metrics text missing ratio gauge:\n%s", txt.String())
+	}
+
+	// Chrome export of a wall-clock trace succeeds.
+	var buf bytes.Buffer
+	meta := obs.Meta{Engine: "shm", Unit: "ns", Net: "bitonic", Width: 4}
+	if err := obs.WriteChromeTrace(&buf, meta, events); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStressDiffractRetries checks the prism CAS-retry counter is exported
+// when diffracting balancers are compiled in.
+func TestStressDiffractRetries(t *testing.T) {
+	g, err := bitonic.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Compile(g, Options{Diffract: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	if _, err := Stress(StressConfig{Net: n, Workers: 8, Ops: 500, Seed: 1, Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+	var txt bytes.Buffer
+	reg.WriteText(&txt)
+	if !bytes.Contains(txt.Bytes(), []byte("shm_prism_cas_retries_total")) {
+		t.Fatalf("metrics text missing prism retry gauge:\n%s", txt.String())
+	}
+}
+
+// TestEffWait pins the W convention shared with the simulator.
+func TestEffWait(t *testing.T) {
+	for _, tc := range []struct {
+		cfg  StressConfig
+		want float64
+	}{
+		{StressConfig{Delay: 1000, DelayedFrac: 0.5}, 1000},
+		{StressConfig{Delay: 1000, RandomDelay: true}, 500},
+		{StressConfig{Delay: 1000, DelayedFrac: 0}, 0},
+		{StressConfig{Delay: 0, DelayedFrac: 0.5}, 0},
+	} {
+		if got := tc.cfg.EffWait(); got != tc.want {
+			t.Errorf("EffWait(%+v) = %f, want %f", tc.cfg, got, tc.want)
+		}
+	}
+}
+
+// obsGaugeName mirrors EnableObs's per-balancer gauge naming.
+func obsGaugeName(id int) string {
+	return fmt.Sprintf("shm_bal%03d_depth", id)
+}

@@ -37,8 +37,9 @@ type waiter struct {
 
 // Prism is a fixed-width array of exchanger slots.
 type Prism struct {
-	slots []atomic.Pointer[waiter]
-	pool  sync.Pool
+	slots   []atomic.Pointer[waiter]
+	pool    sync.Pool
+	retries atomic.Int64
 }
 
 // New returns a prism with the given number of slots (at least 1).
@@ -54,19 +55,28 @@ func New(width int) *Prism {
 // Width returns the number of slots.
 func (p *Prism) Width() int { return len(p.slots) }
 
+// Retries returns how many CAS races this prism has lost (a take or camp
+// attempt that failed because a concurrent token won the slot) — the
+// contention signal the observability layer exports per balancer.
+func (p *Prism) Retries() int64 { return p.retries.Load() }
+
 // Exchange attempts to diffract with a partner for at most `window`,
 // using rng to pick a slot. It returns First or Second when a collision
 // happened, Timeout otherwise.
 func (p *Prism) Exchange(window time.Duration, rng *rand.Rand) Outcome {
 	slot := &p.slots[rng.Intn(len(p.slots))]
 	// Partner already waiting? Take it.
-	if w := slot.Load(); w != nil && slot.CompareAndSwap(w, nil) {
-		w.result <- First
-		return Second
+	if w := slot.Load(); w != nil {
+		if slot.CompareAndSwap(w, nil) {
+			w.result <- First
+			return Second
+		}
+		p.retries.Add(1)
 	}
 	me, _ := p.pool.Get().(*waiter)
 	if !slot.CompareAndSwap(nil, me) {
 		// Lost the race to camp; retry against whoever won.
+		p.retries.Add(1)
 		p.pool.Put(me)
 		if w := slot.Load(); w != nil && slot.CompareAndSwap(w, nil) {
 			w.result <- First

@@ -8,7 +8,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"countnet/internal/core"
 	"countnet/internal/lincheck"
+	"countnet/internal/obs"
 	"countnet/internal/topo"
 )
 
@@ -29,6 +31,30 @@ type StressConfig struct {
 	RandomDelay bool
 	// Seed drives random delays and worker input choice.
 	Seed int64
+	// Tracer, when non-nil, receives per-token enter/balancer/counter/exit
+	// events on the run's monotonic timeline.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, receives the live shm metric family (toggle
+	// wait histogram, (Tog+W)/Tog ratio, per-balancer depth gauges, prism
+	// CAS retries).
+	Metrics *obs.Registry
+}
+
+// EffWait returns the effective injected per-node delay in nanoseconds —
+// the W of the (Tog+W)/Tog measure — mirroring the simulator's convention:
+// the configured Delay, halved under RandomDelay (uniform mean), zero when
+// no worker is delayed.
+func (cfg StressConfig) EffWait() float64 {
+	switch {
+	case cfg.Delay <= 0:
+		return 0
+	case cfg.RandomDelay:
+		return float64(cfg.Delay) / 2
+	case cfg.DelayedFrac == 0:
+		return 0
+	default:
+		return float64(cfg.Delay)
+	}
 }
 
 // StressResult reports a stress run.
@@ -37,6 +63,10 @@ type StressResult struct {
 	Report     lincheck.Report
 	Elapsed    time.Duration
 	Throughput float64 // operations per second
+	// Tog is the measured average toggle wait in nanoseconds and AvgRatio
+	// the paper's (Tog+W)/Tog; both zero unless Metrics was set.
+	Tog      float64
+	AvgRatio float64
 }
 
 // Stress runs the benchmark. Operation timestamps come from the monotonic
@@ -61,6 +91,11 @@ func Stress(cfg StressConfig) (*StressResult, error) {
 	var remaining atomic.Int64
 	remaining.Store(int64(cfg.Ops))
 	base := time.Now()
+	clock := func() int64 { return int64(time.Since(base)) }
+	observed := cfg.Tracer != nil || cfg.Metrics != nil
+	if observed {
+		cfg.Net.EnableObs(cfg.Tracer, cfg.Metrics, clock, cfg.EffWait())
+	}
 	nd := int(cfg.DelayedFrac * float64(cfg.Workers))
 	var wg sync.WaitGroup
 	for wkr := 0; wkr < cfg.Workers; wkr++ {
@@ -77,11 +112,30 @@ func Stress(cfg StressConfig) (*StressResult, error) {
 			case delayed && cfg.Delay > 0:
 				hook = func(topo.NodeID) { pause(cfg.Delay) }
 			}
-			for remaining.Add(-1) >= 0 {
-				start := time.Since(base)
-				v := cfg.Net.TraverseHook(input, hook)
-				end := time.Since(base)
-				rec.Record(int64(start), int64(end), v)
+			for {
+				rem := remaining.Add(-1)
+				if rem < 0 {
+					return
+				}
+				start := clock()
+				var v int64
+				if observed {
+					tok := int32(int64(cfg.Ops) - 1 - rem)
+					if cfg.Tracer != nil {
+						cfg.Tracer.Record(obs.Event{T: start, Kind: obs.KindEnter,
+							P: int32(wkr), Tok: tok, Node: -1, Value: -1})
+					}
+					v = cfg.Net.TraverseObs(input, int32(wkr), tok, hook)
+					end := clock()
+					if cfg.Tracer != nil {
+						cfg.Tracer.Record(obs.Event{T: end, Dur: end - start, Kind: obs.KindExit,
+							P: int32(wkr), Tok: tok, Node: -1, Value: v})
+					}
+					rec.Record(start, end, v)
+					continue
+				}
+				v = cfg.Net.TraverseHook(input, hook)
+				rec.Record(start, clock(), v)
 			}
 		}(wkr)
 	}
@@ -94,6 +148,10 @@ func Stress(cfg StressConfig) (*StressResult, error) {
 	}
 	if elapsed > 0 {
 		res.Throughput = float64(len(res.Ops)) / elapsed.Seconds()
+	}
+	if r := cfg.Net.Ratio(); r != nil {
+		res.Tog = r.Tog()
+		res.AvgRatio = core.AvgRatio(res.Tog, cfg.EffWait())
 	}
 	return res, nil
 }

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"fmt"
+
+	"countnet/internal/obs"
+	"countnet/internal/topo"
+)
+
+// simMetrics is the simulator's live metrics surface: the online
+// (Tog+W)/Tog estimator, the toggle-wait latency histogram, traversal
+// counters, and per-wire link-time extremes (one MinMax per source node),
+// which make the Theorem 3.6 precondition c2 <= 2*c1 observable while a
+// run is in flight.
+type simMetrics struct {
+	tog        *obs.Histogram
+	ratio      *obs.Ratio
+	toggles    *obs.Counter
+	diffracted *obs.Counter
+	inflight   *obs.Gauge
+	wire       []*obs.MinMax // indexed by the node a wire leaves
+	wireAll    *obs.MinMax   // all wires folded together
+}
+
+// newSimMetrics registers the simulator metric family on reg. effW is the
+// effective injected per-node delay in cycles (the W of the live ratio).
+func newSimMetrics(reg *obs.Registry, g *topo.Graph, effW float64) *simMetrics {
+	m := &simMetrics{
+		tog:        reg.Histogram("sim_tog_wait_cycles"),
+		ratio:      reg.Ratio("sim_avg_c2c1", effW),
+		toggles:    reg.Counter("sim_toggles_total"),
+		diffracted: reg.Counter("sim_diffracted_total"),
+		inflight:   reg.Gauge("sim_inflight_tokens"),
+		wire:       make([]*obs.MinMax, g.NumNodes()),
+		wireAll:    reg.MinMax("sim_wire_cycles"),
+	}
+	for id := 0; id < g.NumNodes(); id++ {
+		m.wire[id] = reg.MinMax(fmt.Sprintf("sim_wire_node%03d_cycles", id))
+	}
+	return m
+}
+
+// observeTog folds one balancer wait into the live Tog estimate.
+func (m *simMetrics) observeTog(wait int64) {
+	if m == nil {
+		return
+	}
+	m.tog.Observe(wait)
+	m.ratio.Observe(wait)
+}
+
+// observeLink folds one wire traversal leaving `from` into the per-wire
+// extremes.
+func (m *simMetrics) observeLink(from topo.NodeID, dur int64) {
+	if m == nil {
+		return
+	}
+	m.wire[from].Observe(dur)
+	m.wireAll.Observe(dur)
+}
+

@@ -6,6 +6,7 @@ import (
 
 	"countnet/internal/core"
 	"countnet/internal/lincheck"
+	"countnet/internal/obs"
 	"countnet/internal/stats"
 	"countnet/internal/topo"
 )
@@ -91,6 +92,14 @@ type Config struct {
 	Seed int64
 	// Machine is the cost model; zero value means DefaultMachine.
 	Machine Machine
+	// Tracer, when non-nil, receives one structured event per token
+	// transition (enter, balancer/diffract/counter traverse, link hop,
+	// exit) with cycle timestamps. Nil costs nothing on the hot path.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, registers the simulator's live metric family
+	// (sim_avg_c2c1, sim_tog_wait_cycles, per-wire min/max, ...) on the
+	// registry and keeps it updated during the run.
+	Metrics *obs.Registry
 }
 
 // Result aggregates one run's measurements.
@@ -134,6 +143,17 @@ func Run(cfg Config) (*Result, error) {
 	if (cfg.Machine == Machine{}) {
 		cfg.Machine = DefaultMachine()
 	}
+	// The Figure 7 formula (Tog+W)/Tog with W as configured; when nobody
+	// actually waits (F=0) or everyone waits a random amount (mean W/2),
+	// use the effective wait so the reported measure reflects the run.
+	// Computed up front so the live estimator and the final Result agree.
+	effW := float64(cfg.Wait)
+	switch {
+	case cfg.RandomWait:
+		effW = float64(cfg.Wait) / 2
+	case cfg.DelayedFrac == 0:
+		effW = 0
+	}
 	s := &sim{
 		cfg:      cfg,
 		m:        cfg.Machine,
@@ -142,6 +162,10 @@ func Run(cfg Config) (*Result, error) {
 		stations: make([]station, cfg.Net.NumNodes()),
 		prisms:   make([]prism, cfg.Net.NumNodes()),
 		delayed:  make([]bool, cfg.Procs),
+		tr:       cfg.Tracer,
+	}
+	if cfg.Metrics != nil {
+		s.mx = newSimMetrics(cfg.Metrics, cfg.Net, effW)
 	}
 	// The first F*n processors are the delayed ones, as in the paper's
 	// fixed fraction; which processors they are does not matter since all
@@ -168,16 +192,6 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if s.nodeVisits > 0 {
 		res.Tog = float64(s.nodeWaitSum) / float64(s.nodeVisits)
-	}
-	// The Figure 7 formula (Tog+W)/Tog with W as configured; when nobody
-	// actually waits (F=0) or everyone waits a random amount (mean W/2),
-	// use the effective wait so the reported measure reflects the run.
-	effW := float64(cfg.Wait)
-	switch {
-	case cfg.RandomWait:
-		effW = float64(cfg.Wait) / 2
-	case cfg.DelayedFrac == 0:
-		effW = 0
 	}
 	res.AvgRatio = core.AvgRatio(res.Tog, effW)
 	res.Report = lincheck.Analyze(res.Ops)
@@ -229,6 +243,9 @@ type sim struct {
 	prisms   []prism
 	delayed  []bool
 
+	tr obs.Tracer  // nil when tracing is disabled
+	mx *simMetrics // nil when metrics are disabled
+
 	ops         []lincheck.Op
 	opStart     map[int]int64 // token id -> start time
 	started     int
@@ -255,6 +272,13 @@ func (s *sim) startOp(p int) {
 	}
 	s.opStart[tok] = s.eng.now
 	s.inflight++
+	if s.mx != nil {
+		s.mx.inflight.Set(s.inflight)
+	}
+	if s.tr != nil {
+		s.tr.Record(obs.Event{T: s.eng.now, Kind: obs.KindEnter, P: int32(p), Tok: int32(tok),
+			Node: int32(s.st.At(tok).Node), Value: -1})
+	}
 	s.arrive(p, tok)
 }
 
@@ -310,6 +334,18 @@ func (s *sim) acquire(node topo.NodeID, kind topo.Kind, occupancy, arrival int64
 			s.nodeWaitSum += serviceEnd - arrival
 			s.nodeVisits++
 			s.toggles++
+			s.mx.observeTog(serviceEnd - arrival)
+			if s.mx != nil {
+				s.mx.toggles.Inc()
+			}
+		}
+		if s.tr != nil {
+			k := obs.KindBalancer
+			if kind == topo.KindCounter {
+				k = obs.KindCounter
+			}
+			s.tr.Record(obs.Event{T: serviceEnd, Dur: serviceEnd - arrival, Kind: k,
+				P: int32(p), Tok: int32(tok), Node: int32(node), Value: -1})
 		}
 		s.transit(p, tok)
 	})
@@ -325,6 +361,18 @@ func (s *sim) serveUnfair(node topo.NodeID, kind topo.Kind, occupancy, arrival i
 			s.nodeWaitSum += serviceEnd - arrival
 			s.nodeVisits++
 			s.toggles++
+			s.mx.observeTog(serviceEnd - arrival)
+			if s.mx != nil {
+				s.mx.toggles.Inc()
+			}
+		}
+		if s.tr != nil {
+			k := obs.KindBalancer
+			if kind == topo.KindCounter {
+				k = obs.KindCounter
+			}
+			s.tr.Record(obs.Event{T: serviceEnd, Dur: serviceEnd - arrival, Kind: k,
+				P: int32(p), Tok: int32(tok), Node: int32(node), Value: -1})
 		}
 		s.transit(p, tok)
 		if len(st.waiting) == 0 {
@@ -352,6 +400,17 @@ func (s *sim) arrivePrism(p, tok int, node topo.NodeID) {
 			s.nodeWaitSum += (done - partnerArr) + (done - arrival)
 			s.nodeVisits += 2
 			s.diffracted += 2
+			s.mx.observeTog(done - partnerArr)
+			s.mx.observeTog(done - arrival)
+			if s.mx != nil {
+				s.mx.diffracted.Add(2)
+			}
+			if s.tr != nil {
+				s.tr.Record(obs.Event{T: done, Dur: done - partnerArr, Kind: obs.KindDiffract,
+					P: int32(partnerProc), Tok: int32(partner), Node: int32(node), Value: -1})
+				s.tr.Record(obs.Event{T: done, Dur: done - arrival, Kind: obs.KindDiffract,
+					P: int32(p), Tok: int32(tok), Node: int32(node), Value: -1})
+			}
 			// The partner diffracts first: two consecutive toggle
 			// positions, so the pair leaves on both outputs and the
 			// toggle parity is preserved.
@@ -381,6 +440,7 @@ func (s *sim) arrivePrism(p, tok int, node topo.NodeID) {
 // what follows: the next arrival (after link time plus any injected wait),
 // or operation completion.
 func (s *sim) transit(p, tok int) {
+	from := s.st.At(tok).Node
 	done, err := s.st.Step(tok)
 	if err != nil {
 		// Unreachable by construction; surface loudly in tests.
@@ -393,6 +453,13 @@ func (s *sim) transit(p, tok int) {
 		s.ops = append(s.ops, lincheck.Op{Start: start, End: s.eng.now, Value: v})
 		s.completed++
 		s.inflight--
+		if s.mx != nil {
+			s.mx.inflight.Set(s.inflight)
+		}
+		if s.tr != nil {
+			s.tr.Record(obs.Event{T: s.eng.now, Kind: obs.KindExit,
+				P: int32(p), Tok: int32(tok), Node: -1, Value: v})
+		}
 		if s.eng.now > s.lastDone {
 			s.lastDone = s.eng.now
 		}
@@ -402,6 +469,11 @@ func (s *sim) transit(p, tok int) {
 	link := s.m.LinkCycles
 	if s.m.LinkJitter > 0 {
 		link += s.rng.Int63n(s.m.LinkJitter + 1)
+	}
+	s.mx.observeLink(from, link)
+	if s.tr != nil {
+		s.tr.Record(obs.Event{T: s.eng.now + link, Dur: link, Kind: obs.KindLink,
+			P: int32(p), Tok: int32(tok), Node: int32(from), Value: -1})
 	}
 	s.eng.after(link+s.postNodeWait(p), func() { s.arrive(p, tok) })
 }

@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -54,12 +55,14 @@ func Summarize(samples []int64) Summary {
 }
 
 // Percentile returns the p-th percentile (nearest-rank) of an ascending
-// sorted sample. p is clamped to [0, 100].
+// sorted sample. p is clamped to [0, 100]; a NaN p is treated as 0 (every
+// comparison against NaN is false, so without the explicit check it would
+// fall through to an undefined float-to-int conversion).
 func Percentile(sorted []int64, p float64) int64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	if p < 0 {
+	if math.IsNaN(p) || p < 0 {
 		p = 0
 	}
 	if p > 100 {
@@ -111,6 +114,23 @@ func (h *Histogram) Add(v int64) {
 	h.Buckets[i]++
 }
 
+// Merge adds other's tallies into h. The histograms must have identical
+// bucket layouts (same width, same bucket count); merging a nil or empty
+// histogram is a no-op.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil || other.Total() == 0 {
+		return nil
+	}
+	if other.Width != h.Width || len(other.Buckets) != len(h.Buckets) {
+		return fmt.Errorf("stats: merge of mismatched histograms (width %d/%d, buckets %d/%d)",
+			h.Width, other.Width, len(h.Buckets), len(other.Buckets))
+	}
+	for i, b := range other.Buckets {
+		h.Buckets[i] += b
+	}
+	return nil
+}
+
 // Total returns the number of samples tallied.
 func (h *Histogram) Total() int64 {
 	var t int64
@@ -143,4 +163,43 @@ func (h *Histogram) String() string {
 			100*float64(b)/float64(total), strings.Repeat("#", bar))
 	}
 	return sb.String()
+}
+
+// Log-linear (HDR-style) bucket layout shared with the online latency
+// histograms in internal/obs: values below 2^subBits get exact unit
+// buckets; above that, each power-of-two range is split into 2^subBits
+// equal sub-buckets, bounding the relative quantization error by
+// 2^-subBits while covering the whole non-negative int64 range in
+// (64-subBits)*2^subBits buckets.
+
+// NumLogBuckets returns the bucket count of the log-linear layout.
+func NumLogBuckets(subBits uint) int {
+	return (64 - int(subBits)) << subBits
+}
+
+// LogBucket returns the bucket index of v in the log-linear layout.
+// Negative values land in bucket 0.
+func LogBucket(v int64, subBits uint) int {
+	if v <= 0 {
+		return 0
+	}
+	sub := int64(1) << subBits
+	if v < sub {
+		return int(v)
+	}
+	msb := bits.Len64(uint64(v)) - 1
+	shift := uint(msb) - subBits
+	return int(sub + int64(shift)*sub + (v>>shift - sub))
+}
+
+// LogBucketLower returns the inclusive lower bound of bucket i — the
+// inverse of LogBucket on bucket boundaries.
+func LogBucketLower(i int, subBits uint) int64 {
+	sub := int64(1) << subBits
+	if int64(i) < sub {
+		return int64(i)
+	}
+	off := int64(i) - sub
+	shift := uint(off / sub)
+	return (sub + off%sub) << shift
 }

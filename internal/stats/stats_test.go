@@ -105,3 +105,113 @@ func TestHistogram(t *testing.T) {
 		t.Error("empty histogram rendering")
 	}
 }
+
+func TestPercentileEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		sorted []int64
+		p      float64
+		want   int64
+	}{
+		{"empty", nil, 50, 0},
+		{"empty-nan", nil, math.NaN(), 0},
+		{"single-p0", []int64{7}, 0, 7},
+		{"single-p50", []int64{7}, 50, 7},
+		{"single-p100", []int64{7}, 100, 7},
+		{"single-nan", []int64{7}, math.NaN(), 7},
+		{"nan-clamps-low", []int64{1, 2, 3}, math.NaN(), 1},
+		{"negative-clamps", []int64{1, 2, 3}, -10, 1},
+		{"over-clamps", []int64{1, 2, 3}, 250, 3},
+	} {
+		if got := Percentile(tc.sorted, tc.p); got != tc.want {
+			t.Errorf("%s: Percentile(%v, %v) = %d, want %d", tc.name, tc.sorted, tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(10, 5)
+	b := NewHistogram(10, 5)
+	a.Add(5)
+	a.Add(15)
+	b.Add(15)
+	b.Add(49)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 4 || a.Buckets[1] != 2 || a.Buckets[4] != 1 {
+		t.Fatalf("merged buckets %v (total %d)", a.Buckets, a.Total())
+	}
+	// Merging nil or an empty histogram is a no-op.
+	if err := a.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(NewHistogram(99, 2)); err != nil {
+		t.Fatal("empty mismatched histogram should be a no-op merge")
+	}
+	if a.Total() != 4 {
+		t.Fatalf("no-op merges changed total to %d", a.Total())
+	}
+	// A non-empty layout mismatch is an error.
+	c := NewHistogram(20, 5)
+	c.Add(1)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("Merge accepted mismatched widths")
+	}
+	d := NewHistogram(10, 9)
+	d.Add(1)
+	if err := a.Merge(d); err == nil {
+		t.Fatal("Merge accepted mismatched bucket counts")
+	}
+}
+
+// TestLogBucketBoundaries locks down the log-linear bucket layout used by
+// the online latency histograms in internal/obs.
+func TestLogBucketBoundaries(t *testing.T) {
+	const subBits = 5
+	sub := int64(1) << subBits
+	for _, tc := range []struct {
+		v    int64
+		want int
+	}{
+		{-3, 0},
+		{0, 0},
+		{1, 1},
+		{sub - 1, int(sub - 1)},       // last exact bucket
+		{sub, int(sub)},               // first log bucket
+		{2*sub - 1, int(2*sub - 1)},   // still unit-wide at shift 0
+		{2 * sub, int(2 * sub)},       // shift 1 begins
+		{2*sub + 1, int(2 * sub)},     // width-2 bucket swallows the odd value
+		{4 * sub, int(3 * sub)},       // shift 2 begins
+		{math.MaxInt64, NumLogBuckets(subBits) - 1},
+	} {
+		if got := LogBucket(tc.v, subBits); got != tc.want {
+			t.Errorf("LogBucket(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	// Boundary inversion: every bucket's lower bound maps back to itself,
+	// and lower bounds are strictly increasing.
+	prev := int64(-1)
+	for i := 0; i < NumLogBuckets(subBits); i++ {
+		lo := LogBucketLower(i, subBits)
+		if lo <= prev {
+			t.Fatalf("bucket %d lower bound %d not increasing (prev %d)", i, lo, prev)
+		}
+		prev = lo
+		if got := LogBucket(lo, subBits); got != i {
+			t.Fatalf("LogBucket(LogBucketLower(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestLogBucketMonotone(t *testing.T) {
+	const subBits = 5
+	prev := 0
+	for v := int64(0); v < 1<<14; v++ {
+		b := LogBucket(v, subBits)
+		if b < prev {
+			t.Fatalf("LogBucket not monotone at %d: %d < %d", v, b, prev)
+		}
+		prev = b
+	}
+}
