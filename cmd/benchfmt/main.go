@@ -20,13 +20,16 @@ import (
 	"strconv"
 )
 
-// Record is one benchmark measurement.
+// Record is one benchmark measurement. Metrics carries any custom
+// b.ReportMetric columns (e.g. the stress benchmarks' walkops/s and
+// the combining funnel's hitrate) keyed by their unit.
 type Record struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Document is the file layout.
@@ -38,6 +41,11 @@ type Document struct {
 // "BenchmarkNet-8   1000000   1234 ns/op   56 B/op   3 allocs/op"
 // (the -benchmem columns are optional).
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// metricCol matches one trailing "<value> <unit>" column; custom
+// ReportMetric units sort between ns/op and the -benchmem columns, so
+// B/op and allocs/op are folded back into their dedicated fields here.
+var metricCol = regexp.MustCompile(`([\d.eE+-]+)\s+([A-Za-z][\w/%.-]*)`)
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
@@ -72,6 +80,23 @@ func run(args []string, in io.Reader, echo io.Writer) error {
 		}
 		if m[5] != "" {
 			rec.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		for _, col := range metricCol.FindAllStringSubmatch(line[len(m[0]):], -1) {
+			v, err := strconv.ParseFloat(col[1], 64)
+			if err != nil {
+				continue
+			}
+			switch col[2] {
+			case "B/op":
+				rec.BytesPerOp = int64(v)
+			case "allocs/op":
+				rec.AllocsPerOp = int64(v)
+			default:
+				if rec.Metrics == nil {
+					rec.Metrics = map[string]float64{}
+				}
+				rec.Metrics[col[2]] = v
+			}
 		}
 		doc.Benchmarks = append(doc.Benchmarks, rec)
 	}

@@ -15,6 +15,7 @@ pkg: countnet
 BenchmarkAtomicCounter-8   	12345678	        95.2 ns/op	       0 B/op	       0 allocs/op
 BenchmarkNetwork/bitonic8-8         	  500000	      2410 ns/op	     128 B/op	       2 allocs/op
 BenchmarkNoMem-8   	 1000000	      1234 ns/op
+BenchmarkStressCombined-8 	       3	1671763894 ns/op	         0.9928 hitrate	      9513 walkops/s	      64 B/op	       1 allocs/op
 PASS
 ok  	countnet	3.210s
 `
@@ -36,17 +37,29 @@ func TestParse(t *testing.T) {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatal(err)
 	}
-	if len(doc.Benchmarks) != 3 {
-		t.Fatalf("parsed %d records, want 3", len(doc.Benchmarks))
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("parsed %d records, want 4", len(doc.Benchmarks))
 	}
 	want := Document{Benchmarks: []Record{
 		{Name: "BenchmarkAtomicCounter-8", Iterations: 12345678, NsPerOp: 95.2},
 		{Name: "BenchmarkNetwork/bitonic8-8", Iterations: 500000, NsPerOp: 2410, BytesPerOp: 128, AllocsPerOp: 2},
 		{Name: "BenchmarkNoMem-8", Iterations: 1000000, NsPerOp: 1234},
+		{Name: "BenchmarkStressCombined-8", Iterations: 3, NsPerOp: 1671763894,
+			BytesPerOp: 64, AllocsPerOp: 1,
+			Metrics:    map[string]float64{"hitrate": 0.9928, "walkops/s": 9513}},
 	}}
 	for i, rec := range doc.Benchmarks {
-		if rec != want.Benchmarks[i] {
-			t.Errorf("record %d = %+v, want %+v", i, rec, want.Benchmarks[i])
+		w := want.Benchmarks[i]
+		if rec.Name != w.Name || rec.Iterations != w.Iterations || rec.NsPerOp != w.NsPerOp ||
+			rec.BytesPerOp != w.BytesPerOp || rec.AllocsPerOp != w.AllocsPerOp ||
+			len(rec.Metrics) != len(w.Metrics) {
+			t.Errorf("record %d = %+v, want %+v", i, rec, w)
+			continue
+		}
+		for unit, v := range w.Metrics {
+			if rec.Metrics[unit] != v {
+				t.Errorf("record %d metric %s = %v, want %v", i, unit, rec.Metrics[unit], v)
+			}
 		}
 	}
 }

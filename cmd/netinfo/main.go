@@ -6,9 +6,10 @@
 //	netinfo -net bitonic -width 8 -measure
 //
 // -measure runs a small instrumented workload through each engine — cycle
-// simulator, shared-memory goroutines, message-passing channels — and
-// prints the measured Tog, W, and (Tog+W)/Tog timing ratio per engine
-// (the paper's Section 5 measure, live rather than offline).
+// simulator, shared-memory goroutines both plain and behind the combining
+// funnel, message-passing channels — and prints the measured Tog, W, and
+// (Tog+W)/Tog timing ratio per engine (the paper's Section 5 measure, live
+// rather than offline), plus the funnel's combine hit rate.
 package main
 
 import (
@@ -114,11 +115,11 @@ func run(args []string, w io.Writer) error {
 }
 
 // measureEngines runs the same modest workload (8 processors, 2000
-// operations, F=25% delayed) through all three engines with live metrics
-// and prints one measured-ratio row per engine. The sim row injects
-// W=1000 cycles, the shm row W=20µs; msgnet has no delay-injection hook,
-// so its W is 0 and the ratio degenerates to 1 — its Tog column is still
-// the real measured hop wait.
+// operations, F=25% delayed) through the engines with live metrics and
+// prints one measured-ratio row per engine. The sim row injects W=1000
+// cycles, the shm rows (plain and combining-funnel) W=20µs; msgnet has no
+// delay-injection hook, so its W is 0 and the ratio degenerates to 1 —
+// its Tog column is still the real measured hop wait.
 func measureEngines(w io.Writer, net workload.NetKind, width int) error {
 	const procs, ops, frac = 8, 2000, 0.25
 	fmt.Fprintf(w, "measured timing ratio, Section 5's (Tog+W)/Tog (%d procs, %d ops, F=%.0f%%)\n",
@@ -147,6 +148,20 @@ func measureEngines(w io.Writer, net workload.NetKind, width int) error {
 		return err
 	}
 	fmt.Fprintf(w, "%-8s %-7s %14.1f %14.0f %14.3f\n", "shm", "ns", shmRes.Tog, shmCfg.EffWait(), shmRes.AvgRatio)
+
+	combCfg := shmCfg
+	combCfg.Net, err = shm.Compile(g, shm.Options{Diffract: net == workload.DTree})
+	if err != nil {
+		return err
+	}
+	combCfg.Combine = true
+	combCfg.Metrics = obs.NewRegistry()
+	combRes, err := shm.Stress(combCfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s %-7s %14.1f %14.0f %14.3f   combine hit rate %.2f\n",
+		"shm+cmb", "ns", combRes.Tog, combCfg.EffWait(), combRes.AvgRatio, combRes.Combine.HitRate())
 
 	reg := obs.NewRegistry()
 	mn, err := msgnet.StartOpts(g, msgnet.Options{Buffer: 1, Metrics: reg})

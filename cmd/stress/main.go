@@ -7,6 +7,12 @@
 //	stress -net dtree -width 32 -workers 64 -ops 100000 -frac 0.25 -delay 200us
 //	stress -compare -workers 64 -ops 200000
 //	stress -trace run.json -metrics - -pprof :6060
+//	stress -combine -workers 256 -width 8 -frac 1 -delay 20us -burn
+//
+// With -combine, tokens rendezvous in an elimination/combining funnel in
+// front of the network and a representative walks once for a whole group
+// (internal/shm/combine); the run report then includes the funnel's hit
+// rate and combining degree, and the same counters appear in /metrics.
 //
 // With -trace the run's token events (enter, per-balancer traversal with
 // wait duration, counter, exit) are exported as JSONL (.jsonl) or Chrome
@@ -48,7 +54,11 @@ func run(args []string, w io.Writer) error {
 		frac    = fs.Float64("frac", 0, "fraction of workers delayed after every node (paper's F)")
 		delay   = fs.Duration("delay", 0, "per-node delay for delayed workers (paper's W)")
 		random  = fs.Bool("random", false, "all workers pause uniform [0,delay] per node")
+		burn    = fs.Bool("burn", false, "burn delays as busy work occupying the processor (models coherence stalls) instead of a cooperative pause")
 		kind    = fs.String("balancer", "mcs", "toggle implementation: mcs, mutex, atomic")
+		combine = fs.Bool("combine", false, "route tokens through the elimination/combining funnel in front of the network")
+		combW   = fs.Int("combine-width", 0, "combining funnel exchanger slots (0 = default)")
+		combWin = fs.Duration("combine-window", 0, "how long a token camps for partners before traversing alone (0 = default)")
 		compare = fs.Bool("compare", false, "compare network throughput against single-point counters")
 		grid    = fs.Bool("grid", false, "run the wall-clock analogue of the paper's Figure 5/6 grid")
 		seed    = fs.Int64("seed", 1, "workload seed")
@@ -86,7 +96,8 @@ func run(args []string, w io.Writer) error {
 	}
 	cfg := shm.StressConfig{
 		Net: n, Workers: *workers, Ops: *ops,
-		DelayedFrac: *frac, Delay: *delay, RandomDelay: *random, Seed: *seed,
+		DelayedFrac: *frac, Delay: *delay, RandomDelay: *random, BurnDelay: *burn, Seed: *seed,
+		Combine: *combine, CombineWidth: *combW, CombineWindow: *combWin,
 	}
 	var ring *obs.Ring
 	if *trace != "" {
@@ -119,6 +130,14 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "linearizability: %s\n", res.Report)
 	if cfg.Metrics != nil {
 		fmt.Fprintf(w, "measured Tog %.0fns, (Tog+W)/Tog = %.3f\n", res.Tog, res.AvgRatio)
+	}
+	if c := res.Combine; c != nil {
+		deg := 0.0
+		if c.Pairs > 0 {
+			deg = 1 + float64(c.Partners)/float64(c.Pairs)
+		}
+		fmt.Fprintf(w, "combine: hit rate %.2f, %d combined walks (avg degree %.1f), %d partners, %d timeouts, %d idle, %d races\n",
+			c.HitRate(), c.Pairs, deg, c.Partners, c.Timeouts, c.Idle, c.Races)
 	}
 	if ring != nil {
 		if dropped := ring.Overwritten(); dropped > 0 {

@@ -1,8 +1,10 @@
 // Package conformance is the cross-engine differential testing harness: it
 // runs the same workloads through every execution engine in the repository
 // — the quiescent topo executor, the cycle simulator (internal/sim), the
-// real-goroutine runtime (internal/shm), the message-passing runtime
-// (internal/msgnet), and the timed schedule executor (internal/schedule) —
+// real-goroutine runtime (internal/shm) both plain and behind the
+// elimination/combining funnel (internal/shm/combine), the message-passing
+// runtime (internal/msgnet), and the timed schedule executor
+// (internal/schedule) —
 // and asserts the invariants that must hold in every engine, no matter the
 // interleaving:
 //
@@ -256,6 +258,31 @@ func RunSHM(spec workload.Spec) (*Execution, error) {
 	return &Execution{Engine: "shm", Ops: res.Ops}, nil
 }
 
+// RunSHMCombined executes the spec on the shared-memory runtime with the
+// elimination/combining funnel enabled: tokens rendezvous in front of
+// the network and combined walks carry several tokens at once. The
+// funnel must be invisible in every quiescent invariant — identical
+// value multiset, tallies, and analyzer agreement — which is exactly
+// what running it as a differential engine asserts.
+func RunSHMCombined(spec workload.Spec) (*Execution, error) {
+	real := workload.RealSpec{
+		Net:         spec.Net,
+		Width:       spec.Width,
+		Workers:     spec.Procs,
+		Ops:         spec.Ops,
+		Frac:        spec.Frac,
+		Delay:       time.Duration(spec.Wait) * time.Nanosecond,
+		RandomDelay: spec.RandomWait,
+		Seed:        spec.Seed,
+		Combine:     true,
+	}
+	res, err := real.Run()
+	if err != nil {
+		return nil, fmt.Errorf("shm-combine: %w", err)
+	}
+	return &Execution{Engine: "shm-combine", Ops: res.Ops}, nil
+}
+
 // RunMsgnet executes the spec on the message-passing runtime: spec.Procs
 // goroutines issue spec.Ops traversals in total, each timestamped with the
 // monotonic clock.
@@ -380,10 +407,11 @@ func CheckPadded(g *topo.Graph, c *schedule.Concrete) error {
 	return nil
 }
 
-// CrossCheck runs the spec through all four execution engines — quiescent
-// topo, sim, shm, msgnet — and verifies the universal invariants on each;
-// any breach is an engine disagreement. The returned error carries the
-// spec's JSON so the failing cell can be replayed exactly.
+// CrossCheck runs the spec through all five execution engines — quiescent
+// topo, sim, shm, shm with the combining funnel, msgnet — and verifies the
+// universal invariants on each; any breach is an engine disagreement. The
+// returned error carries the spec's JSON so the failing cell can be
+// replayed exactly.
 func CrossCheck(spec workload.Spec) error {
 	if err := spec.Validate(); err != nil {
 		return err
@@ -402,7 +430,7 @@ func CrossCheck(spec workload.Spec) error {
 	if err != nil {
 		return replayable(spec, err)
 	}
-	for _, run := range []func(workload.Spec) (*Execution, error){RunSim, RunSHM, RunMsgnet} {
+	for _, run := range []func(workload.Spec) (*Execution, error){RunSim, RunSHM, RunSHMCombined, RunMsgnet} {
 		exec, err := run(spec)
 		if err != nil {
 			return replayable(spec, err)

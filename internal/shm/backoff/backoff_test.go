@@ -1,0 +1,76 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffEscalation(t *testing.T) {
+	var b Backoff
+	if b.Attempts() != 0 {
+		t.Fatalf("zero value has %d attempts", b.Attempts())
+	}
+	// The whole ladder must terminate: spins, yields, then one sleep
+	// quantum. Walk past every threshold and check the bookkeeping.
+	for i := 1; i <= yieldAttempts+1; i++ {
+		b.Wait()
+		if b.Attempts() != i {
+			t.Fatalf("after %d waits Attempts() = %d", i, b.Attempts())
+		}
+	}
+	b.Reset()
+	if b.Attempts() != 0 {
+		t.Fatalf("Reset left %d attempts", b.Attempts())
+	}
+}
+
+func TestBackoffSleepLevelActuallySleeps(t *testing.T) {
+	var b Backoff
+	for i := 0; i < yieldAttempts; i++ {
+		b.Wait()
+	}
+	start := time.Now()
+	b.Wait() // past the yield threshold: one sleep quantum
+	if elapsed := time.Since(start); elapsed < sleepQuantum/2 {
+		t.Errorf("sleep-level Wait returned after %v, quantum is %v", elapsed, sleepQuantum)
+	}
+}
+
+func TestPause(t *testing.T) {
+	for _, d := range []time.Duration{0, -time.Second} {
+		start := time.Now()
+		Pause(d)
+		if elapsed := time.Since(start); elapsed > time.Millisecond {
+			t.Errorf("Pause(%v) took %v", d, elapsed)
+		}
+	}
+	for _, d := range []time.Duration{5 * time.Microsecond, 100 * time.Microsecond, 2 * time.Millisecond} {
+		start := time.Now()
+		Pause(d)
+		elapsed := time.Since(start)
+		if elapsed < d {
+			t.Errorf("Pause(%v) returned early after %v", d, elapsed)
+		}
+		// Generous ceiling: the point is that a 5µs pause does not park
+		// for a scheduler-quantum-scale sleep, not exact landing.
+		if elapsed > d+20*time.Millisecond {
+			t.Errorf("Pause(%v) overshot to %v", d, elapsed)
+		}
+	}
+}
+
+func TestBurn(t *testing.T) {
+	Burn(0)
+	Burn(-time.Microsecond) // must not hang or panic
+	for _, d := range []time.Duration{10 * time.Microsecond, 200 * time.Microsecond} {
+		start := time.Now()
+		Burn(d)
+		elapsed := time.Since(start)
+		if elapsed < d {
+			t.Errorf("Burn(%v) returned early after %v", d, elapsed)
+		}
+		if elapsed > d+20*time.Millisecond {
+			t.Errorf("Burn(%v) overshot to %v", d, elapsed)
+		}
+	}
+}

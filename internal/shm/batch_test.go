@@ -1,0 +1,156 @@
+package shm
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"countnet/internal/bitonic"
+	"countnet/internal/topo"
+)
+
+// TestBatchBalancerMatchesSequential checks, per toggle kind, that one
+// TraverseBatch critical section routes exactly like the same number of
+// back-to-back Traverse calls — including when the batch starts from a
+// mid-cycle toggle position.
+func TestBatchBalancerMatchesSequential(t *testing.T) {
+	const fanOut, warmup, demand = 3, 2, 10
+	for _, kind := range []Kind{KindAtomic, KindMutex, KindMCS} {
+		t.Run(kind.String(), func(t *testing.T) {
+			batched, err := NewBalancer(kind, fanOut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sequential, err := NewBalancer(kind, fanOut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bb, ok := batched.(BatchBalancer)
+			if !ok {
+				t.Fatalf("%s balancer does not support batching", kind)
+			}
+			// Skew the toggle off its initial position first.
+			for i := 0; i < warmup; i++ {
+				batched.Traverse()
+				sequential.Traverse()
+			}
+			got := make([]int, fanOut)
+			bb.TraverseBatch(demand, got)
+			want := make([]int, fanOut)
+			for i := 0; i < demand; i++ {
+				want[sequential.Traverse()]++
+			}
+			for p := range want {
+				if got[p] != want[p] {
+					t.Fatalf("output %d: batch routed %d, sequential %d (full: %v vs %v)",
+						p, got[p], want[p], got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestTraverseBatchMatchesSequential runs the same demand through two
+// identical networks — one batched walk vs. back-to-back single tokens —
+// and checks both hand out exactly the values 0..demand-1.
+func TestTraverseBatchMatchesSequential(t *testing.T) {
+	const demand = 37
+	g, err := bitonic.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched := compile(t, g, Options{Kind: KindMCS})
+	sequential := compile(t, g, Options{Kind: KindMCS})
+
+	got := batched.TraverseBatch(0, demand, 0, 0, nil)
+	if len(got) != demand {
+		t.Fatalf("batch returned %d values for demand %d", len(got), demand)
+	}
+	want := make([]int64, demand)
+	for i := range want {
+		want[i] = sequential.Traverse(0)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted values diverge at %d: batch %d, sequential %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTraverseBatchZeroDemand(t *testing.T) {
+	g, err := bitonic.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := compile(t, g, Options{})
+	if got := n.TraverseBatch(0, 0, 0, 0, nil); got != nil {
+		t.Fatalf("demand 0 returned %v", got)
+	}
+	if got := n.TraverseBatch(0, -3, 0, 0, nil); got != nil {
+		t.Fatalf("negative demand returned %v", got)
+	}
+}
+
+// TestTraverseBatchVisitsEachNodeOnce checks the afterNode contract for
+// a single token: the hook fires once per node on the path — the
+// network's depth in balancers plus the final counter.
+func TestTraverseBatchVisitsEachNodeOnce(t *testing.T) {
+	g, err := bitonic.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := compile(t, g, Options{Kind: KindMCS})
+	visits := map[topo.NodeID]int{}
+	n.TraverseBatch(0, 1, 0, 0, func(id topo.NodeID) { visits[id]++ })
+	if len(visits) != g.Depth()+1 {
+		t.Fatalf("visited %d nodes, want depth %d balancers + 1 counter", len(visits), g.Depth())
+	}
+	for id, c := range visits {
+		if c != 1 {
+			t.Fatalf("node %d visited %d times by a single token", id, c)
+		}
+	}
+}
+
+// TestTraverseBatchConcurrentWithSingles interleaves batched walks with
+// plain traversals on one shared network; the union of everything
+// handed out must still be a gapless permutation.
+func TestTraverseBatchConcurrentWithSingles(t *testing.T) {
+	g, err := bitonic.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := compile(t, g, Options{Kind: KindMCS})
+	const goroutines, rounds, batch = 8, 30, 5
+	results := make([][]int64, goroutines)
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			in := w % g.InWidth()
+			for r := 0; r < rounds; r++ {
+				if w%2 == 0 {
+					results[w] = append(results[w], n.TraverseBatch(in, batch, int32(w), 0, nil)...)
+				} else {
+					for i := 0; i < batch; i++ {
+						results[w] = append(results[w], n.Traverse(in))
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := goroutines * rounds * batch
+	seen := make([]bool, total)
+	for _, vs := range results {
+		for _, v := range vs {
+			if v < 0 || v >= int64(total) || seen[v] {
+				t.Fatalf("value %d duplicated or out of range [0,%d)", v, total)
+			}
+			seen[v] = true
+		}
+	}
+}

@@ -131,6 +131,15 @@ func TestEffWait(t *testing.T) {
 		{StressConfig{Delay: 1000, RandomDelay: true}, 500},
 		{StressConfig{Delay: 1000, DelayedFrac: 0}, 0},
 		{StressConfig{Delay: 0, DelayedFrac: 0.5}, 0},
+		// Edge cases: a negative delay is no delay, even randomized;
+		// RandomDelay wins over a zero DelayedFrac (every worker draws
+		// from [0,W)); burning the delay instead of pausing does not
+		// change W itself; a full delayed fraction is just W.
+		{StressConfig{Delay: -1000, DelayedFrac: 0.5}, 0},
+		{StressConfig{Delay: -1000, RandomDelay: true}, 0},
+		{StressConfig{Delay: 1000, RandomDelay: true, DelayedFrac: 0}, 500},
+		{StressConfig{Delay: 1000, DelayedFrac: 1}, 1000},
+		{StressConfig{Delay: 1000, DelayedFrac: 1, BurnDelay: true}, 1000},
 	} {
 		if got := tc.cfg.EffWait(); got != tc.want {
 			t.Errorf("EffWait(%+v) = %f, want %f", tc.cfg, got, tc.want)

@@ -3,7 +3,6 @@ package shm
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +10,8 @@ import (
 	"countnet/internal/core"
 	"countnet/internal/lincheck"
 	"countnet/internal/obs"
+	"countnet/internal/shm/backoff"
+	"countnet/internal/shm/combine"
 	"countnet/internal/topo"
 )
 
@@ -29,8 +30,28 @@ type StressConfig struct {
 	Delay time.Duration
 	// RandomDelay makes every worker pause uniform [0, Delay] instead.
 	RandomDelay bool
+	// BurnDelay burns each delay as busy work that occupies the
+	// simulated processor — the model for per-node costs that hold the
+	// hardware, like cache-coherence stalls or spinning in a lock queue
+	// — instead of the default cooperative pause, which models delays a
+	// descheduled process doesn't charge to anyone else. Combining
+	// amortizes burned delays across a combined walk exactly as it
+	// amortizes real contention.
+	BurnDelay bool
 	// Seed drives random delays and worker input choice.
 	Seed int64
+	// Combine enables the elimination/combining funnel in front of the
+	// network: concurrent workers rendezvous in an exchanger array and a
+	// paired pair sends one representative through the balancers with
+	// demand 2, halving concurrent traversals under contention while
+	// preserving exact counting (see internal/shm/combine).
+	Combine bool
+	// CombineWidth is the funnel's exchanger slot count (default
+	// combine.DefaultWidth).
+	CombineWidth int
+	// CombineWindow is how long a token camps for a partner before
+	// traversing alone (default combine.DefaultWindow).
+	CombineWindow time.Duration
 	// Tracer, when non-nil, receives per-token enter/balancer/counter/exit
 	// events on the run's monotonic timeline.
 	Tracer obs.Tracer
@@ -67,6 +88,9 @@ type StressResult struct {
 	// the paper's (Tog+W)/Tog; both zero unless Metrics was set.
 	Tog      float64
 	AvgRatio float64
+	// Combine is the funnel's counter snapshot, nil unless the run was
+	// configured with Combine.
+	Combine *combine.Stats
 }
 
 // Stress runs the benchmark. Operation timestamps come from the monotonic
@@ -96,6 +120,14 @@ func Stress(cfg StressConfig) (*StressResult, error) {
 	if observed {
 		cfg.Net.EnableObs(cfg.Tracer, cfg.Metrics, clock, cfg.EffWait())
 	}
+	var funnel *combine.Funnel
+	if cfg.Combine {
+		funnel = combine.New(combine.Options{
+			Width:   cfg.CombineWidth,
+			Window:  cfg.CombineWindow,
+			Metrics: cfg.Metrics,
+		})
+	}
 	nd := int(cfg.DelayedFrac * float64(cfg.Workers))
 	var wg sync.WaitGroup
 	for wkr := 0; wkr < cfg.Workers; wkr++ {
@@ -105,37 +137,47 @@ func Stress(cfg StressConfig) (*StressResult, error) {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(wkr)*0x9e3779b9))
 			input := wkr % cfg.Net.InWidth()
 			delayed := wkr < nd
+			wait := pause
+			if cfg.BurnDelay {
+				wait = backoff.Burn
+			}
 			var hook func(topo.NodeID)
 			switch {
 			case cfg.RandomDelay && cfg.Delay > 0:
-				hook = func(topo.NodeID) { pause(time.Duration(rng.Int63n(int64(cfg.Delay) + 1))) }
+				hook = func(topo.NodeID) { wait(time.Duration(rng.Int63n(int64(cfg.Delay) + 1))) }
 			case delayed && cfg.Delay > 0:
-				hook = func(topo.NodeID) { pause(cfg.Delay) }
+				hook = func(topo.NodeID) { wait(cfg.Delay) }
+			}
+			var tok int32
+			trav := func(demand int) []int64 {
+				return cfg.Net.TraverseBatch(input, demand, int32(wkr), tok, hook)
 			}
 			for {
 				rem := remaining.Add(-1)
 				if rem < 0 {
 					return
 				}
+				tok = int32(int64(cfg.Ops) - 1 - rem)
 				start := clock()
-				var v int64
-				if observed {
-					tok := int32(int64(cfg.Ops) - 1 - rem)
-					if cfg.Tracer != nil {
-						cfg.Tracer.Record(obs.Event{T: start, Kind: obs.KindEnter,
-							P: int32(wkr), Tok: tok, Node: -1, Value: -1})
-					}
-					v = cfg.Net.TraverseObs(input, int32(wkr), tok, hook)
-					end := clock()
-					if cfg.Tracer != nil {
-						cfg.Tracer.Record(obs.Event{T: end, Dur: end - start, Kind: obs.KindExit,
-							P: int32(wkr), Tok: tok, Node: -1, Value: v})
-					}
-					rec.Record(start, end, v)
-					continue
+				if observed && cfg.Tracer != nil {
+					cfg.Tracer.Record(obs.Event{T: start, Kind: obs.KindEnter,
+						P: int32(wkr), Tok: tok, Node: -1, Value: -1})
 				}
-				v = cfg.Net.TraverseHook(input, hook)
-				rec.Record(start, clock(), v)
+				var v int64
+				switch {
+				case funnel != nil:
+					v = funnel.Do(1, trav)[0]
+				case observed:
+					v = cfg.Net.TraverseObs(input, int32(wkr), tok, hook)
+				default:
+					v = cfg.Net.TraverseHook(input, hook)
+				}
+				end := clock()
+				if observed && cfg.Tracer != nil {
+					cfg.Tracer.Record(obs.Event{T: end, Dur: end - start, Kind: obs.KindExit,
+						P: int32(wkr), Tok: tok, Node: -1, Value: v})
+				}
+				rec.Record(start, end, v)
 			}
 		}(wkr)
 	}
@@ -153,23 +195,14 @@ func Stress(cfg StressConfig) (*StressResult, error) {
 		res.Tog = r.Tog()
 		res.AvgRatio = core.AvgRatio(res.Tog, cfg.EffWait())
 	}
+	if funnel != nil {
+		st := funnel.Stats()
+		res.Combine = &st
+	}
 	return res, nil
 }
 
-// pause delays the calling goroutine for d: short pauses spin (keeping
-// microsecond precision), long ones sleep.
-func pause(d time.Duration) {
-	if d <= 0 {
-		return
-	}
-	if d >= time.Millisecond {
-		time.Sleep(d)
-		return
-	}
-	deadline := time.Now().Add(d)
-	for spins := 0; time.Now().Before(deadline); spins++ {
-		if spins%64 == 63 {
-			runtime.Gosched()
-		}
-	}
-}
+// pause delays the calling goroutine for d: short pauses poll (keeping
+// microsecond precision), long ones sleep. The escalation policy is the
+// shared backoff helper's, the same one combine slots use.
+func pause(d time.Duration) { backoff.Pause(d) }

@@ -1,0 +1,145 @@
+package shm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"countnet/internal/bitonic"
+	"countnet/internal/lincheck"
+	"countnet/internal/topo"
+)
+
+// width1Graph builds the degenerate width-1 network — one pass-through
+// balancer feeding one counter — which the bitonic constructor rejects
+// but the combining funnel must still serve correctly: with a single
+// counter every combined walk hands out a contiguous block.
+func width1Graph(t *testing.T) *topo.Graph {
+	t.Helper()
+	b := topo.NewBuilder()
+	ins := b.Inputs(1)
+	out := b.Balancer11(ins[0])
+	b.Terminate([]topo.Out{out})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// checkPermutation asserts the run handed out exactly the values
+// 0..ops-1 — the quiescent no-duplicates/no-gaps contract that must
+// hold whether or not tokens combined. On failure it pulls the first
+// linearizability witness from the op history for a concrete schedule
+// to stare at.
+func checkPermutation(t *testing.T, ops []lincheck.Op, n int) {
+	t.Helper()
+	seen := make([]bool, n)
+	for _, op := range ops {
+		if op.Value < 0 || op.Value >= int64(n) || seen[op.Value] {
+			if w, ok := lincheck.FirstWitness(ops); ok {
+				t.Logf("first inversion witness: %s", w)
+			}
+			t.Fatalf("value %d duplicated or out of range [0,%d)", op.Value, n)
+		}
+		seen[op.Value] = true
+	}
+}
+
+// TestStressCombineMatrix runs the combining funnel over the full
+// width × processor-count grid the issue calls for and checks that no
+// cell duplicates or skips a counter value. Linearizability violations
+// are allowed — with injected delays they are the paper's expected
+// behaviour, combined or not — but the permutation must be exact, and
+// the funnel's disposition counters must account for every token.
+func TestStressCombineMatrix(t *testing.T) {
+	for _, width := range []int{1, 2, 4, 8} {
+		for _, procs := range []int{4, 32, 256} {
+			t.Run(fmt.Sprintf("w%d/p%d", width, procs), func(t *testing.T) {
+				var g *topo.Graph
+				var err error
+				if width == 1 {
+					g = width1Graph(t)
+				} else if g, err = bitonic.New(width); err != nil {
+					t.Fatal(err)
+				}
+				n := compile(t, g, Options{Kind: KindMCS})
+				ops := 4 * procs
+				if ops < 256 {
+					ops = 256
+				}
+				res, err := Stress(StressConfig{
+					Net: n, Workers: procs, Ops: ops, Seed: int64(width*1000 + procs),
+					DelayedFrac: 0.25, Delay: 20 * time.Microsecond,
+					Combine: true, CombineWindow: 100 * time.Microsecond,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkPermutation(t, res.Ops, ops)
+				s := res.Combine
+				if s == nil {
+					t.Fatal("combined run reported no funnel stats")
+				}
+				if s.Tokens != int64(ops) {
+					t.Fatalf("funnel saw %d tokens, ran %d ops", s.Tokens, ops)
+				}
+				if got := s.Idle + s.Pairs + s.Partners + s.Timeouts + s.Solo; got != s.Tokens {
+					t.Errorf("disposition partition broken: %+v", *s)
+				}
+			})
+		}
+	}
+}
+
+// TestStressCombineGapProperty is the adversarial property run: every
+// worker delayed, with the delay burned as busy work (the regime where
+// combining actually pays), at a window long enough that essentially
+// every token pairs. Even at hit rates near 1.0 the values must form an
+// exact permutation.
+func TestStressCombineGapProperty(t *testing.T) {
+	g, err := bitonic.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := compile(t, g, Options{Kind: KindMCS})
+	const ops = 4096
+	res, err := Stress(StressConfig{
+		Net: n, Workers: 128, Ops: ops, Seed: 7,
+		DelayedFrac: 1, Delay: 20 * time.Microsecond, BurnDelay: true,
+		Combine: true, CombineWidth: 32, CombineWindow: 500 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPermutation(t, res.Ops, ops)
+	if res.Report.Total != ops {
+		t.Fatalf("analyzed %d ops, ran %d", res.Report.Total, ops)
+	}
+	if r := res.Combine.HitRate(); r < 0 || r > 1 {
+		t.Fatalf("hit rate %f outside [0,1]", r)
+	}
+}
+
+// TestStressCombineQuiescentLinearizable checks that with no injected
+// delays and a single worker the combined engine is fully linearizable:
+// the funnel's idle fast path degenerates to plain traversal, so the
+// sequential guarantees survive.
+func TestStressCombineQuiescentLinearizable(t *testing.T) {
+	g, err := bitonic.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := compile(t, g, Options{Kind: KindMCS})
+	res, err := Stress(StressConfig{Net: n, Workers: 1, Ops: 500, Seed: 3, Combine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPermutation(t, res.Ops, 500)
+	if !res.Report.Linearizable() {
+		t.Fatalf("sequential combined run not linearizable: %s", res.Report)
+	}
+	if s := res.Combine; s.Idle != s.Tokens {
+		t.Errorf("single worker should always take the idle path: %+v", *s)
+	}
+}

@@ -19,6 +19,16 @@ type RealSpec struct {
 	Delay       time.Duration
 	RandomDelay bool
 	Seed        int64
+	// BurnDelay burns W as busy work occupying the simulated processor
+	// (the model for coherence stalls) instead of a cooperative pause.
+	BurnDelay bool
+	// Combine routes tokens through the elimination/combining funnel in
+	// front of the network (internal/shm/combine); CombineWidth and
+	// CombineWindow configure it, zero values meaning the funnel
+	// defaults.
+	Combine       bool
+	CombineWidth  int
+	CombineWindow time.Duration
 }
 
 // String names the spec compactly.
@@ -26,6 +36,12 @@ func (s RealSpec) String() string {
 	tail := ""
 	if s.RandomDelay {
 		tail = "/random"
+	}
+	if s.BurnDelay {
+		tail += "/burn"
+	}
+	if s.Combine {
+		tail += "/combine"
 	}
 	return fmt.Sprintf("%s%d/g=%d/W=%v/F=%.0f%%%s", s.Net, s.Width, s.Workers, s.Delay, 100*s.Frac, tail)
 }
@@ -45,13 +61,17 @@ func (s RealSpec) Run() (*shm.StressResult, error) {
 		return nil, err
 	}
 	return shm.Stress(shm.StressConfig{
-		Net:         n,
-		Workers:     s.Workers,
-		Ops:         s.Ops,
-		DelayedFrac: s.Frac,
-		Delay:       s.Delay,
-		RandomDelay: s.RandomDelay,
-		Seed:        s.Seed,
+		Net:           n,
+		Workers:       s.Workers,
+		Ops:           s.Ops,
+		DelayedFrac:   s.Frac,
+		Delay:         s.Delay,
+		RandomDelay:   s.RandomDelay,
+		BurnDelay:     s.BurnDelay,
+		Seed:          s.Seed,
+		Combine:       s.Combine,
+		CombineWidth:  s.CombineWidth,
+		CombineWindow: s.CombineWindow,
 	})
 }
 
