@@ -1,14 +1,50 @@
 GO ?= go
 
-.PHONY: all build vet test race bench clean
+# Pinned third-party linter versions. `make lint` runs them via
+# `go run pkg@version`, so CI and local runs agree by construction; bump
+# the pin here and the workflow follows. When the module proxy is
+# unreachable (offline dev containers) the third-party passes are
+# skipped with a notice — set LINT_STRICT=1 (CI does) to make
+# unavailability a hard failure instead, so a download hiccup cannot
+# masquerade as a clean run.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+LINT_STRICT ?=
 
-all: vet build test
+.PHONY: all build vet countnetvet lint test race bench clean
+
+all: lint build test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# countnetvet runs the domain analyzers only (stock vet is the `vet`
+# target); `go run ./cmd/countnetvet` with no -novet runs both.
+countnetvet:
+	$(GO) run ./cmd/countnetvet -novet ./...
+
+# lint is the full static-analysis gate: gofmt drift, stock vet, the
+# countnetvet domain analyzers, then the pinned third-party tools.
+lint: vet countnetvet
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	@if $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) -version >/dev/null 2>&1; then \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	elif [ -n "$(LINT_STRICT)" ]; then \
+		echo "staticcheck@$(STATICCHECK_VERSION) unavailable and LINT_STRICT set"; exit 1; \
+	else \
+		echo "skipping staticcheck (module proxy unreachable; set LINT_STRICT=1 to fail instead)"; \
+	fi
+	@if $(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) -version >/dev/null 2>&1; then \
+		$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...; \
+	elif [ -n "$(LINT_STRICT)" ]; then \
+		echo "govulncheck@$(GOVULNCHECK_VERSION) unavailable and LINT_STRICT set"; exit 1; \
+	else \
+		echo "skipping govulncheck (module proxy unreachable; set LINT_STRICT=1 to fail instead)"; \
+	fi
 
 test:
 	$(GO) test ./...

@@ -6,7 +6,9 @@
 //
 //	go test -run '^$' -bench . -benchmem . | benchfmt -o BENCH_sim.json
 //
-// The raw bench output is echoed to stdout so logs keep the human view.
+// With -o the JSON goes to the named file and the raw bench output is
+// echoed to stdout, so logs keep the human view; without -o the JSON
+// document itself is stdout and nothing is echoed.
 package main
 
 import (

@@ -46,7 +46,7 @@ func TestParse(t *testing.T) {
 		{Name: "BenchmarkNoMem-8", Iterations: 1000000, NsPerOp: 1234},
 		{Name: "BenchmarkStressCombined-8", Iterations: 3, NsPerOp: 1671763894,
 			BytesPerOp: 64, AllocsPerOp: 1,
-			Metrics:    map[string]float64{"hitrate": 0.9928, "walkops/s": 9513}},
+			Metrics: map[string]float64{"hitrate": 0.9928, "walkops/s": 9513}},
 	}}
 	for i, rec := range doc.Benchmarks {
 		w := want.Benchmarks[i]

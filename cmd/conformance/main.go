@@ -43,13 +43,13 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("conformance", flag.ContinueOnError)
 	var (
-		mode   = fs.String("mode", "all", "all, cross (engine corpus), or soak (schedule fuzzing)")
-		nets   = fs.String("nets", "bitonic,periodic,dtree", "comma-separated network families")
-		widths = fs.String("widths", "2,4,8", "comma-separated network widths")
-		rounds = fs.Int("rounds", 100, "fuzzed schedules per (net, width, regime) cell")
-		ops    = fs.Int("ops", 64, "operations per cross-engine run")
-		procs  = fs.Int("procs", 4, "workers per cross-engine run")
-		seed   = fs.Int64("seed", 1, "fuzzing seed")
+		mode    = fs.String("mode", "all", "all, cross (engine corpus), or soak (schedule fuzzing)")
+		nets    = fs.String("nets", "bitonic,periodic,dtree", "comma-separated network families")
+		widths  = fs.String("widths", "2,4,8", "comma-separated network widths")
+		rounds  = fs.Int("rounds", 100, "fuzzed schedules per (net, width, regime) cell")
+		ops     = fs.Int("ops", 64, "operations per cross-engine run")
+		procs   = fs.Int("procs", 4, "workers per cross-engine run")
+		seed    = fs.Int64("seed", 1, "fuzzing seed")
 		shrink  = fs.Bool("shrink", false, "minimize a failing schedule before reporting it")
 		out     = fs.String("out", "", "write the failing schedule (JSONL) to this file instead of stdout")
 		trace   = fs.String("trace", "", "write the witness-correlated trace slice to this file (default <out>.trace.json)")

@@ -1,0 +1,153 @@
+// Command countnetvet is the repo's multichecker: it runs stock go vet
+// and the four countnet domain analyzers over the requested packages and
+// exits nonzero on any finding.
+//
+// Usage:
+//
+//	countnetvet [-novet] [-json] [packages]
+//
+// Packages default to ./... resolved against the enclosing module. The
+// analyzers:
+//
+//	detvet    seed-reproducibility in //countnet:deterministic packages
+//	atomicvet no plain access to fields used with sync/atomic
+//	obsvet    nil-guarded observability so disabled obs costs nothing
+//	lockvet   lock copies, leaked critical sections, undeclared nesting
+//
+// Findings are suppressed by `//countnet:allow <analyzer> -- <reason>`
+// on the offending line or the line above; an empty reason is itself a
+// finding (analyzer name "directive") so CI rejects justification-free
+// suppressions.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+
+	"countnet/internal/analysis"
+	"countnet/internal/analysis/atomicvet"
+	"countnet/internal/analysis/detvet"
+	"countnet/internal/analysis/lockvet"
+	"countnet/internal/analysis/obsvet"
+)
+
+// analyzers is the countnetvet suite, in report order.
+var analyzers = []*analysis.Analyzer{
+	detvet.Analyzer,
+	atomicvet.Analyzer,
+	obsvet.Analyzer,
+	lockvet.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("countnetvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	noVet := fs.Bool("novet", false, "skip the stock `go vet` pass")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	list := fs.Bool("list", false, "list the domain analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: countnetvet [-novet] [-json] [packages]\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	modRoot, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	failed := false
+	if !*noVet {
+		cmd := exec.Command("go", "vet", "-C", modRoot)
+		cmd.Args = append(cmd.Args, patterns...)
+		cmd.Stdout = stderr // vet findings are diagnostics, not data
+		cmd.Stderr = stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	diags, err := runAnalyzers(modRoot, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(toJSON(diags)); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if failed || len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runAnalyzers loads the packages and applies the suite to each.
+func runAnalyzers(modRoot string, patterns []string) ([]analysis.Diagnostic, error) {
+	pkgs, err := analysis.Load(modRoot, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := analysis.RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds...)
+	}
+	return out, nil
+}
+
+// finding is the stable JSON shape of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func toJSON(diags []analysis.Diagnostic) []finding {
+	out := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, finding{
+			File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"countnet/internal/analysis"
+)
+
+// TestRepoClean is the self-hosting gate: the countnetvet suite must
+// report zero findings over the whole module. Every intentional
+// exception in the tree carries a reasoned //countnet:allow, so a
+// failure here is either a real regression or a new exception that
+// needs a justification.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	_, file, _, _ := runtime.Caller(0)
+	modRoot, err := analysis.FindModuleRoot(filepath.Dir(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := runAnalyzers(modRoot, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestJSONShape keeps the -json output schema stable for the CI
+// summary step.
+func TestJSONShape(t *testing.T) {
+	fs := toJSON([]analysis.Diagnostic{})
+	if fs == nil || len(fs) != 0 {
+		t.Fatalf("toJSON(nil) = %#v, want empty non-nil slice", fs)
+	}
+}

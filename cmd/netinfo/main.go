@@ -38,13 +38,13 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("netinfo", flag.ContinueOnError)
 	var (
-		net    = fs.String("net", "bitonic", "bitonic, periodic, or dtree")
-		width  = fs.Int("width", 8, "network width (power of two)")
-		c1     = fs.Int64("c1", 100, "minimum link-traversal time")
-		c2     = fs.Int64("c2", 200, "maximum link-traversal time")
-		dot    = fs.String("dot", "", "write Graphviz output to this file")
-		jsonP  = fs.String("json", "", "write the network encoding to this JSON file")
-		verify = fs.Bool("verify", false, "certify the counting property (exhaustive for small networks, randomized otherwise)")
+		net     = fs.String("net", "bitonic", "bitonic, periodic, or dtree")
+		width   = fs.Int("width", 8, "network width (power of two)")
+		c1      = fs.Int64("c1", 100, "minimum link-traversal time")
+		c2      = fs.Int64("c2", 200, "maximum link-traversal time")
+		dot     = fs.String("dot", "", "write Graphviz output to this file")
+		jsonP   = fs.String("json", "", "write the network encoding to this JSON file")
+		verify  = fs.Bool("verify", false, "certify the counting property (exhaustive for small networks, randomized otherwise)")
 		render  = fs.Bool("render", false, "print a layer-by-layer ASCII rendering")
 		pad     = fs.Bool("pad", false, "also show the Corollary 3.12 padded network")
 		measure = fs.Bool("measure", false, "run an instrumented workload and print the measured (Tog+W)/Tog per engine")
@@ -189,7 +189,10 @@ func measureEngines(w io.Writer, net workload.NetKind, width int) error {
 			return err
 		}
 	}
-	r := mn.Ratio()
-	fmt.Fprintf(w, "%-8s %-7s %14.1f %14.0f %14.3f\n", "msgnet", "ns", r.Tog(), 0.0, r.Value())
+	var tog, val float64
+	if r := mn.Ratio(); r != nil {
+		tog, val = r.Tog(), r.Value()
+	}
+	fmt.Fprintf(w, "%-8s %-7s %14.1f %14.0f %14.3f\n", "msgnet", "ns", tog, 0.0, val)
 	return nil
 }

@@ -33,6 +33,7 @@ import (
 
 	"countnet/internal/obs"
 	"countnet/internal/shm"
+	funnel "countnet/internal/shm/combine"
 	"countnet/internal/stats"
 	"countnet/internal/workload"
 )
@@ -57,8 +58,8 @@ func run(args []string, w io.Writer) error {
 		burn    = fs.Bool("burn", false, "burn delays as busy work occupying the processor (models coherence stalls) instead of a cooperative pause")
 		kind    = fs.String("balancer", "mcs", "toggle implementation: mcs, mutex, atomic")
 		combine = fs.Bool("combine", false, "route tokens through the elimination/combining funnel in front of the network")
-		combW   = fs.Int("combine-width", 0, "combining funnel exchanger slots (0 = default)")
-		combWin = fs.Duration("combine-window", 0, "how long a token camps for partners before traversing alone (0 = default)")
+		combW   = fs.Int("combine-width", 0, fmt.Sprintf("combining funnel exchanger slots (0 = default, %d)", funnel.DefaultWidth))
+		combWin = fs.Duration("combine-window", 0, fmt.Sprintf("how long a token camps for partners before traversing alone (0 = default, %v)", funnel.DefaultWindow))
 		compare = fs.Bool("compare", false, "compare network throughput against single-point counters")
 		grid    = fs.Bool("grid", false, "run the wall-clock analogue of the paper's Figure 5/6 grid")
 		seed    = fs.Int64("seed", 1, "workload seed")

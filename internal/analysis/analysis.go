@@ -1,0 +1,251 @@
+// Package analysis is the repository's static-analysis framework: a
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// vocabulary (Analyzer, Pass, Diagnostic) over the standard library's
+// go/ast + go/types, plus the countnet directive language that turns the
+// paper's invariants into CI-enforced law:
+//
+//	//countnet:deterministic
+//	    marks a package as seed-reproducible: detvet forbids wall-clock
+//	    reads, unseeded global randomness, map-iteration ordering, and
+//	    goroutine-spawn-order dependence inside it (PR 2's bit-identical
+//	    runs per seed rest on this).
+//
+//	//countnet:allow <analyzer>[,<analyzer>...] -- <reason>
+//	    suppresses findings of the named analyzers on the same source
+//	    line or the line directly below. An empty reason is itself a
+//	    finding, so every suppression carries its justification.
+//
+//	//countnet:lockorder <A> < <B>
+//	    declares that lock A may be held while acquiring lock B; lockvet
+//	    flags any nested acquisition without a declared order.
+//
+// The concrete analyzers live in the subpackages detvet, atomicvet,
+// obsvet, and lockvet; cmd/countnetvet runs them all (alongside the
+// stock `go vet` suite) over any package pattern.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check, mirroring x/tools' analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and allow directives.
+	Name string
+	// Doc is the one-line description shown by countnetvet's usage.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Dirs holds the package's parsed countnet directives.
+	Dirs *Directives
+
+	report func(pos token.Pos, msg string)
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, fmt.Sprintf(format, args...))
+}
+
+// Allow is one parsed //countnet:allow directive.
+type Allow struct {
+	// Analyzers are the suppressed analyzer names.
+	Analyzers []string
+	// Reason is the justification after the "--" separator.
+	Reason string
+	// File and Line locate the directive.
+	File string
+	Line int
+	Pos  token.Pos
+}
+
+// Covers reports whether the directive suppresses the named analyzer.
+func (a Allow) Covers(analyzer string) bool {
+	for _, n := range a.Analyzers {
+		if n == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// LockOrder declares that Before may be held while acquiring After.
+type LockOrder struct {
+	Before, After string
+}
+
+// Directives is a package's parsed countnet directive set.
+type Directives struct {
+	// Deterministic is true when any file carries //countnet:deterministic.
+	Deterministic bool
+	// LockOrders lists the declared nested-acquisition orders.
+	LockOrders []LockOrder
+	// allows maps "file:line" of the directive to the parsed form.
+	allows map[string][]Allow
+}
+
+// allowRE parses "//countnet:allow detvet,obsvet -- reason text". The
+// reason separator is mandatory so a missing justification is detectable.
+var allowRE = regexp.MustCompile(`^//countnet:allow\s+([\w,\s]+?)\s*--\s*(.*)$`)
+
+// lockOrderRE parses "//countnet:lockorder A < B".
+var lockOrderRE = regexp.MustCompile(`^//countnet:lockorder\s+(\S+)\s*<\s*(\S+)\s*$`)
+
+// ParseDirectives scans every comment of the package's files.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{allows: make(map[string][]Allow)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d.parseComment(fset, c)
+			}
+		}
+	}
+	return d
+}
+
+func (d *Directives) parseComment(fset *token.FileSet, c *ast.Comment) {
+	text := strings.TrimSpace(c.Text)
+	if !strings.HasPrefix(text, "//countnet:") {
+		return
+	}
+	pos := fset.Position(c.Pos())
+	switch {
+	case text == "//countnet:deterministic":
+		d.Deterministic = true
+	case strings.HasPrefix(text, "//countnet:lockorder"):
+		if m := lockOrderRE.FindStringSubmatch(text); m != nil {
+			d.LockOrders = append(d.LockOrders, LockOrder{Before: m[1], After: m[2]})
+		}
+	case strings.HasPrefix(text, "//countnet:allow"):
+		a := Allow{File: pos.Filename, Line: pos.Line, Pos: c.Pos()}
+		if m := allowRE.FindStringSubmatch(text); m != nil {
+			for _, name := range strings.Split(m[1], ",") {
+				if name = strings.TrimSpace(name); name != "" {
+					a.Analyzers = append(a.Analyzers, name)
+				}
+			}
+			a.Reason = strings.TrimSpace(m[2])
+		}
+		key := allowKey(pos.Filename, pos.Line)
+		d.allows[key] = append(d.allows[key], a)
+	}
+}
+
+func allowKey(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+
+// Allowed reports whether a finding of the named analyzer at pos is
+// suppressed: an allow directive covering the analyzer sits on the same
+// line or the line directly above, and carries a non-empty reason.
+func (d *Directives) Allowed(analyzer string, pos token.Position) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, a := range d.allows[allowKey(pos.Filename, line)] {
+			if a.Covers(analyzer) && a.Reason != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasLockOrder reports whether holding `before` while acquiring `after`
+// was declared legal.
+func (d *Directives) HasLockOrder(before, after string) bool {
+	for _, lo := range d.LockOrders {
+		if lo.Before == before && lo.After == after {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectiveCheckName is the pseudo-analyzer name under which malformed
+// directives (an allow with an empty reason) are reported. It cannot be
+// suppressed.
+const DirectiveCheckName = "directive"
+
+// RunPackage runs the analyzers over one loaded package and returns the
+// surviving findings: suppressed diagnostics are dropped, and every allow
+// directive with an empty reason becomes a finding of its own, so a
+// justification-free suppression fails CI.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Dirs:      pkg.Directives,
+		}
+		name := a.Name
+		pass.report = func(pos token.Pos, msg string) {
+			p := pkg.Fset.Position(pos)
+			if pkg.Directives.Allowed(name, p) {
+				return
+			}
+			out = append(out, Diagnostic{Pos: p, Analyzer: name, Message: msg})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	for _, allows := range pkg.Directives.allows {
+		for _, a := range allows {
+			if a.Reason == "" || len(a.Analyzers) == 0 {
+				out = append(out, Diagnostic{
+					Pos:      pkg.Fset.Position(a.Pos),
+					Analyzer: DirectiveCheckName,
+					Message:  "countnet:allow directive with empty reason (write `//countnet:allow <analyzer> -- <why>`)",
+				})
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// sortDiagnostics orders findings by file, line, column, then analyzer.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,122 @@
+// Package antest is the golden-test harness for countnet analyzers, in
+// the spirit of golang.org/x/tools/go/analysis/analysistest but built on
+// the offline loader. A testdata package seeds known violations and
+// annotates each expected finding in a comment:
+//
+//	t := time.Now() // want `time\.Now in deterministic package`
+//
+// The back-quoted strings are regexps matched against the diagnostic
+// message; several may follow one want. Because an expectation cannot
+// share a line with a //countnet: directive (the directive comment runs
+// to end of line), `// wantbelow` registers its expectations for the
+// NEXT source line — used for the empty-reason directive finding, which
+// is reported at the directive itself:
+//
+//	// wantbelow `empty reason`
+//	//countnet:allow detvet --
+//
+// Run fails the test on any unmatched expectation or unexpected
+// diagnostic, printing both sides.
+package antest
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"countnet/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*(want|wantbelow)((?:\s+` + "`[^`]*`" + `)+)`)
+var patRE = regexp.MustCompile("`([^`]*)`")
+
+// expectation is one want pattern awaiting a diagnostic on its line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the testdata package rooted at dir (relative to the calling
+// test, e.g. "../testdata/src/detvet"), applies the analyzers through
+// the same RunPackage pipeline countnetvet uses (so suppression
+// directives are honored), and diffs the findings against the want
+// annotations.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modRoot, err := analysis.FindModuleRoot(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.LoadDir(modRoot, abs)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		ws, err := parseWants(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, ws...)
+	}
+	diags, err := analysis.RunPackage(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched `%s`", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts the want/wantbelow expectations from one source file.
+func parseWants(path string) ([]*expectation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []*expectation
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		m := wantRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		target := line
+		if m[1] == "wantbelow" {
+			target = line + 1
+		}
+		for _, pm := range patRE.FindAllStringSubmatch(m[2], -1) {
+			re, err := regexp.Compile(pm[1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &expectation{file: path, line: target, re: re})
+		}
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WalkStack traverses the file like ast.Inspect while maintaining the
+// ancestor stack: fn is called with each node and its ancestors
+// (outermost first, not including n). Returning false skips the subtree.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// CalleeFunc resolves the called function or method of a call expression,
+// or nil for calls through function values and type conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// PkgFunc reports whether call invokes the package-level function
+// pkgPath.name, returning the function name on match.
+func PkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return "", false // method, not package function
+	}
+	return fn.Name(), true
+}
+
+// NamedType unwraps pointers and aliases to the underlying named type of
+// t, or nil when t is not (a pointer to) a named type.
+func NamedType(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// IsNamed reports whether t is (a pointer to) the named type
+// pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	n := NamedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// ExprPrefixes returns e and every selector/index base it is built from,
+// innermost last: for o.depth[id] it returns [o.depth[id], o.depth, o].
+func ExprPrefixes(e ast.Expr) []ast.Expr {
+	var out []ast.Expr
+	for e != nil {
+		e = ast.Unparen(e)
+		out = append(out, e)
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			e = nil
+		}
+	}
+	return out
+}
+
+// SameExpr reports whether a and b are structurally the same reference
+// chain: identical identifiers (by resolved object) connected by the
+// same selections and (ignored) index positions — the equality notion
+// guard analysis needs, not general expression equivalence.
+func SameExpr(info *types.Info, a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch x := a.(type) {
+	case *ast.Ident:
+		y, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		xo, yo := info.ObjectOf(x), info.ObjectOf(y)
+		return xo != nil && xo == yo
+	case *ast.SelectorExpr:
+		y, ok := b.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		xo, yo := info.ObjectOf(x.Sel), info.ObjectOf(y.Sel)
+		return xo != nil && xo == yo && SameExpr(info, x.X, y.X)
+	case *ast.IndexExpr:
+		y, ok := b.(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		return SameExpr(info, x.X, y.X)
+	case *ast.StarExpr:
+		y, ok := b.(*ast.StarExpr)
+		if !ok {
+			return false
+		}
+		return SameExpr(info, x.X, y.X)
+	}
+	return false
+}
+
+// NilComparisons collects every expression compared against nil with the
+// given operator (token.NEQ or token.EQL) anywhere inside cond,
+// traversing && and || arms.
+func NilComparisons(cond ast.Expr, op token.Token) []ast.Expr {
+	var out []ast.Expr
+	ast.Inspect(cond, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || b.Op != op {
+			return true
+		}
+		if isNilIdent(b.Y) {
+			out = append(out, b.X)
+		} else if isNilIdent(b.X) {
+			out = append(out, b.Y)
+		}
+		return true
+	})
+	return out
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// Terminates reports whether the statement unconditionally leaves the
+// enclosing block: a return, a branch (break/continue/goto), or a call
+// to panic / (*testing.common).Fatal-style is approximated by return and
+// branch statements plus panic calls.
+func Terminates(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// FieldOf resolves the struct field (or package-level variable) that a
+// reference expression ultimately denotes: x.f -> field f, pkgvar -> the
+// var. Returns nil for locals and non-var references.
+func FieldOf(info *types.Info, e ast.Expr) *types.Var {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := info.ObjectOf(x.Sel).(*types.Var); ok && v.IsField() {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.ObjectOf(x).(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	}
+	return nil
+}

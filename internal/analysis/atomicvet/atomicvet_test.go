@@ -1,0 +1,12 @@
+package atomicvet_test
+
+import (
+	"testing"
+
+	"countnet/internal/analysis/antest"
+	"countnet/internal/analysis/atomicvet"
+)
+
+func TestGolden(t *testing.T) {
+	antest.Run(t, "../testdata/src/atomicvet", atomicvet.Analyzer)
+}

@@ -1,0 +1,101 @@
+// Package detvet enforces seed-reproducibility in packages marked
+// //countnet:deterministic: the simulator's acceptance test (bit-identical
+// runs per seed) and every scripted-schedule experiment rest on those
+// packages being pure functions of their seeds. The analyzer forbids the
+// four ways Go code silently picks up ambient nondeterminism:
+//
+//   - wall-clock reads (time.Now, time.Since, ...) and timer construction;
+//   - the global math/rand source (seeded from runtime entropy) — only
+//     explicitly seeded *rand.Rand values are allowed;
+//   - ranging over a map, whose iteration order is randomized per run;
+//   - spawning goroutines or selecting over multiple ready channels,
+//     which hand ordering decisions to the scheduler.
+package detvet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"countnet/internal/analysis"
+)
+
+// Analyzer is the detvet pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detvet",
+	Doc:  "forbid wall-clock, global rand, map-order, and scheduler dependence in //countnet:deterministic packages",
+	Run:  run,
+}
+
+// wallClock lists the time package functions that read the wall clock or
+// create runtime timers; any of them makes a run irreproducible.
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// seededRandOK lists math/rand package functions that do NOT draw from
+// the global source and are therefore allowed (constructors for
+// explicitly seeded generators).
+var seededRandOK = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !pass.Dirs.Deterministic {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, x)
+			case *ast.RangeStmt:
+				checkRange(pass, x)
+			case *ast.GoStmt:
+				pass.Reportf(x.Pos(), "goroutine spawn in deterministic package: completion order depends on the scheduler")
+			case *ast.SelectStmt:
+				checkSelect(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if name, ok := analysis.PkgFunc(pass.TypesInfo, call, "time"); ok && wallClock[name] {
+		pass.Reportf(call.Pos(), "time.%s in deterministic package: wall-clock reads break same-seed reproducibility", name)
+		return
+	}
+	for _, randPkg := range []string{"math/rand", "math/rand/v2"} {
+		if name, ok := analysis.PkgFunc(pass.TypesInfo, call, randPkg); ok && !seededRandOK[name] {
+			pass.Reportf(call.Pos(), "%s.%s draws from the global (runtime-seeded) source; use an explicitly seeded *rand.Rand", randPkg, name)
+			return
+		}
+	}
+}
+
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); ok {
+		pass.Reportf(rng.Pos(), "map iteration order is randomized per run; iterate a sorted slice of keys instead")
+	}
+}
+
+func checkSelect(pass *analysis.Pass, sel *ast.SelectStmt) {
+	comms := 0
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			comms++
+		}
+	}
+	if comms >= 2 {
+		pass.Reportf(sel.Pos(), "select over %d channels picks a ready case at random; deterministic code must not race channels", comms)
+	}
+}

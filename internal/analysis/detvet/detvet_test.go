@@ -1,0 +1,12 @@
+package detvet_test
+
+import (
+	"testing"
+
+	"countnet/internal/analysis/antest"
+	"countnet/internal/analysis/detvet"
+)
+
+func TestGolden(t *testing.T) {
+	antest.Run(t, "../testdata/src/detvet", detvet.Analyzer)
+}

@@ -1,0 +1,12 @@
+package lockvet_test
+
+import (
+	"testing"
+
+	"countnet/internal/analysis/antest"
+	"countnet/internal/analysis/lockvet"
+)
+
+func TestGolden(t *testing.T) {
+	antest.Run(t, "../testdata/src/lockvet", lockvet.Analyzer)
+}

@@ -1,0 +1,12 @@
+package obsvet_test
+
+import (
+	"testing"
+
+	"countnet/internal/analysis/antest"
+	"countnet/internal/analysis/obsvet"
+)
+
+func TestGolden(t *testing.T) {
+	antest.Run(t, "../testdata/src/obsvet", obsvet.Analyzer)
+}

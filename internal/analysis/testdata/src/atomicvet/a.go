@@ -1,0 +1,38 @@
+// Package atomicvetdata seeds mixed atomic/plain accesses for atomicvet.
+package atomicvetdata
+
+import "sync/atomic"
+
+type toggle struct {
+	state int64
+	wire  int // never touched atomically: plain access fine
+}
+
+func (t *toggle) Flip() int64 {
+	return atomic.AddInt64(&t.state, 1)
+}
+
+func (t *toggle) Peek() int64 {
+	return t.state // want `plain access to state, which is accessed atomically`
+}
+
+func (t *toggle) Set(v int64) {
+	t.state = v // want `plain access to state, which is accessed atomically`
+}
+
+func (t *toggle) Wire() int {
+	return t.wire
+}
+
+var visits int64
+
+func Visit() { atomic.AddInt64(&visits, 1) }
+
+func PeekVisits() int64 {
+	return visits // want `plain access to visits, which is accessed atomically`
+}
+
+func SnapshotForTest(t *toggle) int64 {
+	//countnet:allow atomicvet -- read under quiescence in the harness, no concurrent writers
+	return t.state
+}

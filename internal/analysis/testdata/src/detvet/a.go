@@ -1,0 +1,58 @@
+// Package detvetdata seeds every violation class detvet must catch,
+// plus the suppression forms it must honor.
+//
+//countnet:deterministic
+package detvetdata
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Clocks() time.Duration {
+	t := time.Now()     // want `time\.Now in deterministic package`
+	d := time.Since(t)  // want `time\.Since in deterministic package`
+	time.Sleep(d)       // want `time\.Sleep in deterministic package`
+	_ = time.Unix(0, 0) // construction from a constant is fine
+	return time.Duration(1)
+}
+
+func Rand() int {
+	x := rand.Int() // want `math/rand\.Int draws from the global`
+	r := rand.New(rand.NewSource(7))
+	x += r.Intn(10) // explicitly seeded generator: allowed
+	return x
+}
+
+func MapOrder(m map[int]int) int {
+	sum := 0
+	for k := range m { // want `map iteration order is randomized`
+		sum += k
+	}
+	return sum
+}
+
+func Scheduler(ch1, ch2 chan int) {
+	go func() {}() // want `goroutine spawn in deterministic package`
+	select {       // want `select over 2 channels`
+	case <-ch1:
+	case <-ch2:
+	}
+}
+
+func SingleCaseSelectOK(ch chan int) {
+	select {
+	case <-ch:
+	}
+}
+
+func Suppressed() {
+	//countnet:allow detvet -- wall clock feeds a progress log line, not the schedule
+	_ = time.Now()
+}
+
+func EmptyReason() {
+	// wantbelow `empty reason`
+	//countnet:allow detvet --
+	_ = time.Now() // want `time\.Now in deterministic package`
+}

@@ -1,0 +1,83 @@
+// Package obsvetdata seeds guarded and unguarded observability call
+// sites for obsvet: the engine-style struct holds nil obs pointers when
+// observability is disabled, so every call must be provably guarded.
+package obsvetdata
+
+import "countnet/internal/obs"
+
+type engine struct {
+	tr    obs.Tracer
+	tog   *obs.Counter
+	ratio *obs.Ratio
+	//countnet:allow obsvet -- New substitutes a no-op counter when metrics are off; never nil
+	safe *obs.Counter
+	mx   *metrics
+}
+
+type metrics struct {
+	depth *obs.Gauge
+}
+
+func (e *engine) Unguarded() {
+	e.tog.Inc() // want `unguarded Inc call on \*obs\.Counter`
+}
+
+func (e *engine) SiblingGuard(wait int64) {
+	if e.tog != nil {
+		e.tog.Inc()
+		e.ratio.Observe(wait) // want `unguarded Observe call on \*obs\.Ratio`
+	}
+}
+
+func (e *engine) Guarded(wait int64) {
+	if e.tog != nil {
+		e.tog.Inc()
+	}
+	if e.ratio != nil {
+		e.ratio.Observe(wait)
+	}
+	if e.tr != nil {
+		e.tr.Record(obs.Event{})
+	}
+}
+
+func (e *engine) ElseArm() {
+	if e.tog == nil {
+		return
+	} else {
+		e.tog.Inc()
+	}
+}
+
+func (e *engine) EarlyReturnGuard() {
+	if e.tog == nil {
+		return
+	}
+	e.tog.Inc()
+}
+
+func (e *engine) FieldAllow() {
+	e.safe.Inc() // sanctioned by the field-declaration allow
+}
+
+// observeDepth is a nil-safe wrapper (the simMetrics pattern): the
+// receiver guard covers the m.depth call, and unguarded call sites are
+// out of obsvet's scope because *metrics is not an obs type.
+func (m *metrics) observeDepth(v int64) {
+	if m == nil {
+		return
+	}
+	m.depth.Set(v)
+}
+
+func (e *engine) NilSafeCallee() {
+	e.mx.observeDepth(3)
+}
+
+// Registry-sourced metrics are never nil: both the bound-variable and
+// the chained-call form need no guard.
+func RegistrySourced(reg *obs.Registry) {
+	c := reg.Counter("cells")
+	c.Inc()
+	reg.Histogram("wait").Observe(1)
+}

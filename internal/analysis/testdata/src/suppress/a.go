@@ -1,0 +1,12 @@
+// Package suppress exercises the countnet directive grammar.
+//
+//countnet:deterministic
+//countnet:lockorder T.a < T.b
+package suppress
+
+import "sync"
+
+// T carries two ordered locks.
+type T struct {
+	a, b sync.Mutex
+}

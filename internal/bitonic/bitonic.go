@@ -8,6 +8,8 @@
 // subsequence of its first input half and the odd subsequence of its second
 // half into one Merger[k] (and the complementary subsequences into another)
 // and recombines with a final row of balancers.
+//
+//countnet:deterministic
 package bitonic
 
 import (

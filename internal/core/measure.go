@@ -8,6 +8,8 @@
 // uniform counting network whatsoever is linearizable when c2 <= 2*c1
 // (Corollary 3.9), and when c2 = k*c1 for k > 2, two operations separated in
 // time by more than 2*h*(c2-c1) are still ordered (Lemma 3.7).
+//
+//countnet:deterministic
 package core
 
 import (

@@ -9,6 +9,8 @@
 // optimization changes only how tokens pass each node, and is provided by
 // the shm/prism package (real goroutines) and by the sim package's
 // diffracting node model.
+//
+//countnet:deterministic
 package dtree
 
 import (

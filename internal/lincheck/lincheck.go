@@ -5,6 +5,8 @@
 // counter value. The non-linearizability ratio of an execution is the
 // fraction of non-linearizable operations — the quantity plotted in
 // Figures 5 and 6 of the paper.
+//
+//countnet:deterministic
 package lincheck
 
 import (

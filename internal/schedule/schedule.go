@@ -5,6 +5,8 @@
 // deterministic, which makes it possible to script the adversarial
 // executions of Section 4 exactly and to property-test the Section 3
 // theorems (see scenarios.go and the package tests).
+//
+//countnet:deterministic
 package schedule
 
 import (

@@ -123,7 +123,7 @@ func TestCombineIdleOverhead(t *testing.T) {
 	comb := best(true)
 	// 10% plus a small absolute allowance so a sub-millisecond baseline
 	// cannot fail on clock granularity alone.
-	if limit := base+base/10+2*time.Millisecond; comb > limit {
+	if limit := base + base/10 + 2*time.Millisecond; comb > limit {
 		t.Errorf("combined idle path too slow: baseline %v, combined %v (limit %v)", base, comb, limit)
 	}
 }

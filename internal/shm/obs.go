@@ -13,7 +13,7 @@ import (
 // estimator, toggle-wait histogram, per-balancer queue-depth gauges, and
 // the prism CAS-retry counter).
 type netObs struct {
-	tr    obs.Tracer  // nil when tracing disabled
+	tr    obs.Tracer   // nil when tracing disabled
 	clock func() int64 // nanoseconds on the run's monotonic timeline
 	tog   *obs.Histogram
 	ratio *obs.Ratio

@@ -8,6 +8,8 @@
 // each node, and the simulator measures the non-linearizability ratio and
 // the average toggle wait Tog that the paper's (Tog+W)/Tog measure is built
 // from.
+//
+//countnet:deterministic
 package sim
 
 import "container/heap"

@@ -58,4 +58,3 @@ func (m *simMetrics) observeLink(from topo.NodeID, dur int64) {
 	m.wire[from].Observe(dur)
 	m.wireAll.Observe(dur)
 }
-

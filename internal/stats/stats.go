@@ -2,6 +2,8 @@
 // benchmark harness reports: mean, standard deviation, min/max,
 // percentiles, and fixed-width histograms over int64 samples (cycles or
 // nanoseconds).
+//
+//countnet:deterministic
 package stats
 
 import (

@@ -177,12 +177,12 @@ func TestLogBucketBoundaries(t *testing.T) {
 		{-3, 0},
 		{0, 0},
 		{1, 1},
-		{sub - 1, int(sub - 1)},       // last exact bucket
-		{sub, int(sub)},               // first log bucket
-		{2*sub - 1, int(2*sub - 1)},   // still unit-wide at shift 0
-		{2 * sub, int(2 * sub)},       // shift 1 begins
-		{2*sub + 1, int(2 * sub)},     // width-2 bucket swallows the odd value
-		{4 * sub, int(3 * sub)},       // shift 2 begins
+		{sub - 1, int(sub - 1)},     // last exact bucket
+		{sub, int(sub)},             // first log bucket
+		{2*sub - 1, int(2*sub - 1)}, // still unit-wide at shift 0
+		{2 * sub, int(2 * sub)},     // shift 1 begins
+		{2*sub + 1, int(2 * sub)},   // width-2 bucket swallows the odd value
+		{4 * sub, int(3 * sub)},     // shift 2 begins
 		{math.MaxInt64, NumLogBuckets(subBits) - 1},
 	} {
 		if got := LogBucket(tc.v, subBits); got != tc.want {

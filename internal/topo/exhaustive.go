@@ -2,6 +2,7 @@ package topo
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -61,7 +62,9 @@ func ExhaustiveCheck(g *Graph, perInput []int64, maxStates int) error {
 			}
 			continue
 		}
-		for pos := range st.tokens {
+		// Sorted positions keep the DFS push order — and therefore which
+		// violating interleaving is reported first — identical across runs.
+		for _, pos := range sortedPositions(st.tokens) {
 			stack = append(stack, st.step(g, pos))
 		}
 	}
@@ -82,6 +85,7 @@ func (s xstate) step(g *Graph, pos PortRef) xstate {
 		counts:  append([]int64(nil), s.counts...),
 		tokens:  make(map[PortRef]int64, len(s.tokens)+1),
 	}
+	//countnet:allow detvet -- map-to-map copy; insertion order cannot affect the result
 	for p, c := range s.tokens {
 		n.tokens[p] = c
 	}
@@ -115,24 +119,23 @@ func (s xstate) key() string {
 		fmt.Fprintf(&sb, "%d,", c)
 	}
 	sb.WriteByte('|')
-	// Deterministic order: scan all possible positions in node/port order.
-	type pc struct {
-		p PortRef
-		c int64
-	}
-	entries := make([]pc, 0, len(s.tokens))
-	for p, c := range s.tokens {
-		entries = append(entries, pc{p, c})
-	}
-	for i := 1; i < len(entries); i++ {
-		for j := i; j > 0 && less(entries[j].p, entries[j-1].p); j-- {
-			entries[j], entries[j-1] = entries[j-1], entries[j]
-		}
-	}
-	for _, e := range entries {
-		fmt.Fprintf(&sb, "%d:%d=%d,", e.p.Node, e.p.Port, e.c)
+	for _, p := range sortedPositions(s.tokens) {
+		fmt.Fprintf(&sb, "%d:%d=%d,", p.Node, p.Port, s.tokens[p])
 	}
 	return sb.String()
+}
+
+// sortedPositions returns the waiting positions in node/port order, the
+// one place map iteration is funneled through so its randomized order
+// never leaks into DFS push order or state keys.
+func sortedPositions(tokens map[PortRef]int64) []PortRef {
+	out := make([]PortRef, 0, len(tokens))
+	//countnet:allow detvet -- collection pass; the slice is sorted before any use
+	for p := range tokens {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
 }
 
 func less(a, b PortRef) bool {

@@ -14,6 +14,8 @@
 // Graphs are built with a Builder, which makes ill-formed networks
 // unrepresentable: a balancer's inputs are fixed at creation from existing
 // outputs, so the result is acyclic and fully wired by construction.
+//
+//countnet:deterministic
 package topo
 
 import "fmt"
