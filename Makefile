@@ -11,7 +11,7 @@ STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 LINT_STRICT ?=
 
-.PHONY: all build vet countnetvet lint test race bench clean
+.PHONY: all build vet countnetvet lint test race chaos bench clean
 
 all: lint build test
 
@@ -52,6 +52,13 @@ test:
 race:
 	$(GO) test -race ./internal/shm/... ./internal/msgnet/... ./internal/conformance/...
 
+# chaos is the CI chaos job locally: a race-checked fault-plan soak on
+# the msgnet engine with a fixed seed (byte-for-byte reproducible); a
+# breach leaves a shrunken plan in chaos-plan.jsonl for
+# `adversary -faults chaos-plan.jsonl`.
+chaos:
+	$(GO) run -race ./cmd/conformance -mode chaos -rounds 10 -fault-seed 1 -shrink -out chaos-plan.jsonl
+
 # bench runs the root (simulator-facing) and internal/shm benchmarks and
 # writes the machine-readable BENCH_sim.json / BENCH_shm.json files whose
 # format is documented in EXPERIMENTS.md (E20).
@@ -60,4 +67,4 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/shm | $(GO) run ./cmd/benchfmt -o BENCH_shm.json
 
 clean:
-	rm -f BENCH_sim.json BENCH_shm.json
+	rm -f BENCH_sim.json BENCH_shm.json chaos-plan.jsonl

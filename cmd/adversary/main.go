@@ -5,6 +5,15 @@
 // timing parameters, the per-token values, and the linearizability report.
 //
 //	adversary -scenario section1|tree|bitonic|waves|padding|all [-width w]
+//	adversary -faults chaos-plan.jsonl
+//	adversary -fault-seed 7 -width 4 -net bitonic
+//
+// With -faults the command replays a serialized chaos plan (a
+// faults.WritePlan JSONL file, e.g. a shrunken reproducer from the
+// conformance chaos soak) against the message-passing engine and checks
+// the quiescent invariants; with -fault-seed it derives the plan
+// deterministically from the seed instead, the generate-and-check twin of
+// replay.
 package main
 
 import (
@@ -13,8 +22,10 @@ import (
 	"io"
 	"os"
 
+	"countnet/internal/conformance"
 	"countnet/internal/core"
 	"countnet/internal/dtree"
+	"countnet/internal/faults"
 	"countnet/internal/lincheck"
 	"countnet/internal/schedule"
 	"countnet/internal/topo"
@@ -31,16 +42,25 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("adversary", flag.ContinueOnError)
 	var (
-		name   = fs.String("scenario", "all", "section1, tree, bitonic, waves, padding, or all")
-		width  = fs.Int("width", 8, "network width for the Section 4 scenarios")
-		trace  = fs.String("trace", "", "write the execution trace (JSONL) to this file (single scenarios only)")
-		sweep  = fs.Bool("sweep", false, "run the Lemma 3.7 start-separation sweep instead of a scenario")
-		search = fs.Bool("search", false, "synthesize an adversarial schedule by hill climbing instead of replaying a scripted one")
-		ratio  = fs.Int64("ratio", 5, "c2/c1 ratio budget for -search")
-		replay = fs.String("replay", "", "replay a serialized concrete schedule (JSONL, e.g. a conformance shrinker reproducer) instead of a scripted scenario")
+		name    = fs.String("scenario", "all", "section1, tree, bitonic, waves, padding, or all")
+		width   = fs.Int("width", 8, "network width for the Section 4 scenarios")
+		trace   = fs.String("trace", "", "write the execution trace (JSONL) to this file (single scenarios only)")
+		sweep   = fs.Bool("sweep", false, "run the Lemma 3.7 start-separation sweep instead of a scenario")
+		search  = fs.Bool("search", false, "synthesize an adversarial schedule by hill climbing instead of replaying a scripted one")
+		ratio   = fs.Int64("ratio", 5, "c2/c1 ratio budget for -search")
+		replay  = fs.String("replay", "", "replay a serialized concrete schedule (JSONL, e.g. a conformance shrinker reproducer) instead of a scripted scenario")
+		faultsP = fs.String("faults", "", "replay a serialized chaos plan (JSONL from faults.WritePlan) on the msgnet engine")
+		faultSd = fs.Int64("fault-seed", 0, "derive a chaos plan from this seed and run it on the msgnet engine (0 = off)")
+		net     = fs.String("net", "bitonic", "network family for -fault-seed: bitonic, periodic, or dtree")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *faultsP != "" {
+		return replayFaultPlan(w, *faultsP)
+	}
+	if *faultSd != 0 {
+		return derivedFaultRun(w, *net, *width, *faultSd)
 	}
 	if *replay != "" {
 		return replaySchedule(w, *replay, *trace)
@@ -179,6 +199,81 @@ func replaySchedule(w io.Writer, path, tracePath string) error {
 	if wit, ok := lincheck.FirstWitness(res.Ops); ok {
 		fmt.Fprintf(w, "witness: %s\n", wit)
 	}
+	return nil
+}
+
+// replayFaultPlan reruns a serialized chaos plan on the msgnet engine —
+// the fault-layer twin of replaySchedule — and reports whether the
+// quiescent invariants survive it.
+func replayFaultPlan(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	plan, err := faults.ReadPlan(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if plan.Net == "" || plan.Width == 0 {
+		return fmt.Errorf("faults: plan %s names no workload (net=%q width=%d)", path, plan.Net, plan.Width)
+	}
+	fmt.Fprintf(w, "== chaos replay %s ==\n", path)
+	return runFaultPlan(w, plan)
+}
+
+// derivedFaultRun generates the deterministic chaos plan for (net, width,
+// seed) — the same derivation the conformance chaos engine uses — and
+// runs it.
+func derivedFaultRun(w io.Writer, net string, width int, seed int64) error {
+	spec := workload.Spec{Net: workload.NetKind(net), Width: width, Procs: 4, Ops: 256, Seed: seed}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	plan, err := conformance.DerivePlan(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== chaos run (derived from fault-seed %d) ==\n", seed)
+	return runFaultPlan(w, plan)
+}
+
+// runFaultPlan executes one plan against its embedded workload hints and
+// prints the plan, the invariant verdict, and the linearizability report.
+func runFaultPlan(w io.Writer, plan *faults.Plan) error {
+	spec := workload.Spec{
+		Net: workload.NetKind(plan.Net), Width: plan.Width,
+		Procs: plan.Procs, Ops: plan.Ops, Seed: plan.Seed,
+	}
+	if spec.Procs <= 0 {
+		spec.Procs = 4
+	}
+	if spec.Ops <= 0 {
+		spec.Ops = 256
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	g, err := spec.Net.Build(spec.Width)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "network: %s\n", topo.Summary(g))
+	fmt.Fprintf(w, "plan:    %v\n", plan)
+	fmt.Fprintf(w, "workload: %d procs, %d ops\n", spec.Procs, spec.Ops)
+	exec, err := conformance.RunMsgnetPlan(spec, plan)
+	if err != nil {
+		return err
+	}
+	if len(exec.Ops) != spec.Ops {
+		return fmt.Errorf("chaos: completed %d of %d operations", len(exec.Ops), spec.Ops)
+	}
+	if err := exec.CheckUniversal(g.OutWidth()); err != nil {
+		fmt.Fprintf(w, "result:  INVARIANT BREACH: %v\n", err)
+		return err
+	}
+	fmt.Fprintf(w, "result:  quiescent invariants hold (gapless permutation, exact step tallies)\n")
+	fmt.Fprintf(w, "lincheck: %s\n", lincheck.Analyze(exec.Ops))
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"countnet/internal/faults"
 	"countnet/internal/schedule"
 )
 
@@ -151,6 +152,68 @@ func TestRunReplay(t *testing.T) {
 	}
 	if _, err := os.Stat(trace); err != nil {
 		t.Fatalf("trace not written: %v", err)
+	}
+}
+
+func TestRunDerivedFaultSeed(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fault-seed", "7", "-net", "bitonic", "-width", "4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"chaos run (derived from fault-seed 7)",
+		"plan:",
+		"quiescent invariants hold",
+		"lincheck:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFaultPlanReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plan.jsonl")
+	plan := faults.Chaos(3, 0.15, 2000)
+	plan.Net, plan.Width, plan.Procs, plan.Ops = "dtree", 4, 4, 200
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faults.WritePlan(f, plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-faults", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"chaos replay", "workload: 4 procs, 200 ops", "quiescent invariants hold"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("replay output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFaultPlanRejectsMissingWorkload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "anon-plan.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faults.WritePlan(f, faults.Chaos(1, 0.1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var sb strings.Builder
+	if err := run([]string{"-faults", path}, &sb); err == nil {
+		t.Error("plan without workload hints accepted")
 	}
 }
 

@@ -1,12 +1,21 @@
 // Command conformance runs the cross-engine conformance harness: the
 // deterministic corpus (every network family and width through the
 // quiescent executor, the cycle simulator, the shared-memory runtime, and
-// the message-passing runtime) and long schedule-fuzzing soaks against the
-// Section 3 theorems (Corollaries 3.9 and 3.12).
+// the message-passing runtime both fault-free and fault-injected) and
+// long schedule-fuzzing soaks against the Section 3 theorems (Corollaries
+// 3.9 and 3.12).
 //
 //	conformance                       corpus + a short soak
 //	conformance -mode soak -rounds 5000 -shrink -out fail.jsonl
 //	conformance -mode cross -widths 2,4,8,16
+//	conformance -mode chaos -rounds 25 -fault-seed 1 -shrink -out plan.jsonl
+//
+// -mode chaos fuzzes whole fault plans (internal/faults) against the
+// message-passing engine: random drop/dup/reorder/delay rates, link
+// partitions, and node stall/crash windows, all derived deterministically
+// from -fault-seed. A failing plan is shrunk (with -shrink) to a minimal
+// chaos reproducer and serialized to -out; replay it with
+// `adversary -faults <file>`.
 //
 // On an invariant breach the offending schedule is shrunk (with -shrink)
 // to a minimal reproducer, serialized as JSONL to -out (default stdout),
@@ -28,6 +37,7 @@ import (
 	"strings"
 
 	"countnet/internal/conformance"
+	"countnet/internal/faults"
 	"countnet/internal/obs"
 	"countnet/internal/schedule"
 	"countnet/internal/workload"
@@ -43,13 +53,14 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("conformance", flag.ContinueOnError)
 	var (
-		mode    = fs.String("mode", "all", "all, cross (engine corpus), or soak (schedule fuzzing)")
+		mode    = fs.String("mode", "all", "all, cross (engine corpus), soak (schedule fuzzing), or chaos (fault-plan fuzzing)")
 		nets    = fs.String("nets", "bitonic,periodic,dtree", "comma-separated network families")
 		widths  = fs.String("widths", "2,4,8", "comma-separated network widths")
 		rounds  = fs.Int("rounds", 100, "fuzzed schedules per (net, width, regime) cell")
 		ops     = fs.Int("ops", 64, "operations per cross-engine run")
 		procs   = fs.Int("procs", 4, "workers per cross-engine run")
 		seed    = fs.Int64("seed", 1, "fuzzing seed")
+		faultSd = fs.Int64("fault-seed", 1, "seed for -mode chaos fault plans")
 		shrink  = fs.Bool("shrink", false, "minimize a failing schedule before reporting it")
 		out     = fs.String("out", "", "write the failing schedule (JSONL) to this file instead of stdout")
 		trace   = fs.String("trace", "", "write the witness-correlated trace slice to this file (default <out>.trace.json)")
@@ -80,16 +91,19 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	switch *mode {
-	case "all", "cross", "soak":
+	case "all", "cross", "soak", "chaos":
 	default:
-		return fmt.Errorf("unknown -mode %q (want all, cross, or soak)", *mode)
+		return fmt.Errorf("unknown -mode %q (want all, cross, soak, or chaos)", *mode)
 	}
 	var runErr error
-	if *mode != "soak" {
+	if *mode == "all" || *mode == "cross" {
 		runErr = crossEngine(w, reg, kinds, sizes, *procs, *ops, *seed)
 	}
-	if runErr == nil && *mode != "cross" {
+	if runErr == nil && (*mode == "all" || *mode == "soak") {
 		runErr = soak(w, reg, kinds, sizes, *rounds, *seed, *shrink, *out, *trace)
+	}
+	if runErr == nil && *mode == "chaos" {
+		runErr = chaos(w, reg, kinds, sizes, *rounds, *ops, *procs, *faultSd, *shrink, *out)
 	}
 	if *metrics != "" {
 		dest := w
@@ -108,7 +122,7 @@ func run(args []string, w io.Writer) error {
 
 // crossEngine runs the differential corpus and reports per-cell agreement.
 func crossEngine(w io.Writer, reg *obs.Registry, nets []workload.NetKind, widths []int, procs, ops int, seed int64) error {
-	fmt.Fprintln(w, "== cross-engine conformance (quiescent / sim / shm / shm-combine / msgnet) ==")
+	fmt.Fprintln(w, "== cross-engine conformance (quiescent / sim / shm / shm-combine / msgnet / msgnet-faults) ==")
 	cells := reg.Counter("conformance_cross_cells_total")
 	for _, net := range nets {
 		for _, width := range widths {
@@ -125,7 +139,7 @@ func crossEngine(w io.Writer, reg *obs.Registry, nets []workload.NetKind, widths
 				return fmt.Errorf("ENGINES DISAGREE on %s: %w", spec, err)
 			}
 			cells.Inc()
-			fmt.Fprintf(w, "%-32s 5 engines agree (%d ops)\n", spec, ops)
+			fmt.Fprintf(w, "%-32s 6 engines agree (%d ops)\n", spec, ops)
 		}
 	}
 	return nil
@@ -177,6 +191,51 @@ func soak(w io.Writer, reg *obs.Registry, nets []workload.NetKind, widths []int,
 		}
 	}
 	return fmt.Errorf("conformance failed: %s", fail.Error())
+}
+
+// chaos fuzzes whole fault plans against the message-passing engine and
+// reports, or serializes, the first invariant breach with its (shrunk)
+// plan reproducer.
+func chaos(w io.Writer, reg *obs.Registry, nets []workload.NetKind, widths []int, rounds, ops, procs int, faultSeed int64, shrink bool, outPath string) error {
+	fmt.Fprintf(w, "== chaos soak (fault-plan fuzzing, %d plans per cell, fault-seed %d) ==\n", rounds, faultSeed)
+	roundsMetric := reg.Counter("conformance_chaos_rounds_total")
+	failures := reg.Counter("conformance_chaos_failures_total")
+	fail, total, err := conformance.ChaosSoak(conformance.ChaosConfig{
+		Nets:   nets,
+		Widths: widths,
+		Rounds: rounds,
+		Seed:   faultSeed,
+		Ops:    ops,
+		Procs:  procs,
+		Shrink: shrink,
+		Progress: func(format string, args ...any) {
+			fmt.Fprintf(w, format+"\n", args...)
+		},
+	})
+	roundsMetric.Add(int64(total))
+	if err != nil {
+		return err
+	}
+	if fail == nil {
+		fmt.Fprintf(w, "chaos clean: %d fault plans, zero invariant breaches\n", total)
+		return nil
+	}
+	failures.Inc()
+	fmt.Fprintf(w, "INVARIANT BREACH after %d plans: %v\n", total, fail.Err)
+	dest := w
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dest = f
+		fmt.Fprintf(w, "fault-plan reproducer written to %s (replay with: adversary -faults %s)\n", outPath, outPath)
+	}
+	if err := faults.WritePlan(dest, fail.Plan); err != nil {
+		return err
+	}
+	return fmt.Errorf("chaos conformance failed: %s", fail.Error())
 }
 
 // writeWitnessTrace reruns the reproducer with tracing and writes the

@@ -14,7 +14,7 @@ func TestRunCrossMode(t *testing.T) {
 	if !strings.Contains(out, "cross-engine conformance") {
 		t.Errorf("missing header:\n%s", out)
 	}
-	if got := strings.Count(out, "5 engines agree"); got != 6 { // 3 nets x 2 widths
+	if got := strings.Count(out, "6 engines agree"); got != 6 { // 3 nets x 2 widths
 		t.Errorf("%d agreement lines, want 6:\n%s", got, out)
 	}
 }
@@ -30,13 +30,38 @@ func TestRunSoakMode(t *testing.T) {
 	}
 }
 
+func TestRunChaosMode(t *testing.T) {
+	var sb strings.Builder
+	args := []string{"-mode", "chaos", "-nets", "bitonic", "-widths", "2", "-rounds", "4", "-fault-seed", "1", "-shrink"}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "chaos soak (fault-plan fuzzing, 4 plans per cell, fault-seed 1)") {
+		t.Errorf("missing chaos header:\n%s", out)
+	}
+	if !strings.Contains(out, "chaos clean: 4 fault plans, zero invariant breaches") {
+		t.Errorf("chaos summary wrong:\n%s", out)
+	}
+
+	// Same fault-seed, same output: the chaos run is deterministic end
+	// to end, so a CI failure is always reproducible from the flags.
+	var again strings.Builder
+	if err := run(args, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out {
+		t.Errorf("chaos mode not reproducible:\n--- first ---\n%s--- second ---\n%s", out, again.String())
+	}
+}
+
 func TestRunAllModeSmall(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-nets", "dtree", "-widths", "2", "-rounds", "3", "-ops", "12"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	if !strings.Contains(out, "5 engines agree") || !strings.Contains(out, "soak clean") {
+	if !strings.Contains(out, "6 engines agree") || !strings.Contains(out, "soak clean") {
 		t.Errorf("all mode output:\n%s", out)
 	}
 }

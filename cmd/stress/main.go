@@ -8,6 +8,15 @@
 //	stress -compare -workers 64 -ops 200000
 //	stress -trace run.json -metrics - -pprof :6060
 //	stress -combine -workers 256 -width 8 -frac 1 -delay 20us -burn
+//	stress -engine msgnet -faults 0.05 -fault-seed 7 -delay 10us
+//
+// With -engine msgnet the workload runs on the message-passing runtime
+// instead of the shared-memory one, and -faults turns on deterministic
+// chaos (internal/faults): drop rate = the given intensity, duplication
+// and reordering at half of it, all seeded by -fault-seed so two runs
+// inject the identical fault sequence. -delay then becomes the plan's
+// per-hop link latency (the paper's W on the wire) and the run report
+// gains the fault/retry tallies next to the usual (Tog+W)/Tog measure.
 //
 // With -combine, tokens rendezvous in an elimination/combining funnel in
 // front of the network and a representative walks once for a whole group
@@ -31,6 +40,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"countnet/internal/faults"
+	"countnet/internal/lincheck"
+	"countnet/internal/msgnet"
 	"countnet/internal/obs"
 	"countnet/internal/shm"
 	funnel "countnet/internal/shm/combine"
@@ -62,6 +74,9 @@ func run(args []string, w io.Writer) error {
 		combWin = fs.Duration("combine-window", 0, fmt.Sprintf("how long a token camps for partners before traversing alone (0 = default, %v)", funnel.DefaultWindow))
 		compare = fs.Bool("compare", false, "compare network throughput against single-point counters")
 		grid    = fs.Bool("grid", false, "run the wall-clock analogue of the paper's Figure 5/6 grid")
+		engine  = fs.String("engine", "shm", "execution engine: shm or msgnet")
+		faultsF = fs.Float64("faults", 0, "msgnet fault intensity in [0,1]: drop rate, with dup/reorder at half (msgnet engine only)")
+		faultSd = fs.Int64("fault-seed", 1, "seed for the deterministic fault plan")
 		seed    = fs.Int64("seed", 1, "workload seed")
 		trace   = fs.String("trace", "", "export token trace to this file (.jsonl, or Chrome trace_event otherwise)")
 		metrics = fs.String("metrics", "", `write the plain-text metrics dump to this file ("-" for stdout)`)
@@ -79,6 +94,20 @@ func run(args []string, w io.Writer) error {
 	g, err := workload.NetKind(*net).Build(*width)
 	if err != nil {
 		return err
+	}
+	switch *engine {
+	case "msgnet":
+		return runMsgnetStress(w, msgnetStressConfig{
+			net: *net, width: *width, workers: *workers, ops: *ops,
+			delay: *delay, intensity: *faultsF, faultSeed: *faultSd,
+			metrics: *metrics,
+		})
+	case "shm":
+		if *faultsF != 0 {
+			return fmt.Errorf("-faults requires -engine msgnet")
+		}
+	default:
+		return fmt.Errorf("unknown engine %q", *engine)
 	}
 	var k shm.Kind
 	switch *kind {
@@ -163,6 +192,106 @@ func run(args []string, w io.Writer) error {
 		cfg.Metrics.WriteText(dest)
 		if *metrics != "-" {
 			fmt.Fprintf(w, "metrics written to %s\n", *metrics)
+		}
+	}
+	return nil
+}
+
+// msgnetStressConfig carries the msgnet-engine knobs from the flag set.
+type msgnetStressConfig struct {
+	net                 string
+	width, workers, ops int
+	delay               time.Duration
+	intensity           float64
+	faultSeed           int64
+	metrics             string
+}
+
+// runMsgnetStress drives the workload through the message-passing engine,
+// optionally under a deterministic chaos plan, and reports the same
+// throughput/latency/linearizability summary as the shm path plus the
+// fault and retry tallies.
+func runMsgnetStress(w io.Writer, cfg msgnetStressConfig) error {
+	g, err := workload.NetKind(cfg.net).Build(cfg.width)
+	if err != nil {
+		return err
+	}
+	plan := faults.Chaos(cfg.faultSeed, cfg.intensity, cfg.delay.Nanoseconds())
+	plan.Net, plan.Width, plan.Procs, plan.Ops = cfg.net, cfg.width, cfg.workers, cfg.ops
+	reg := obs.NewRegistry()
+	n, err := msgnet.StartOpts(g, msgnet.Options{
+		Buffer:  1,
+		Metrics: reg,
+		EffWait: float64(cfg.delay.Nanoseconds()),
+		Faults:  plan,
+	})
+	if err != nil {
+		return err
+	}
+	defer n.Close()
+	rec := lincheck.NewRecorder(cfg.ops)
+	base := time.Now()
+	errs := make(chan error, cfg.workers)
+	per := cfg.ops / cfg.workers
+	extra := cfg.ops % cfg.workers
+	for p := 0; p < cfg.workers; p++ {
+		ops := per
+		if p < extra {
+			ops++
+		}
+		go func(p, ops int) {
+			input := p % g.InWidth()
+			for i := 0; i < ops; i++ {
+				start := time.Since(base)
+				v, err := n.Traverse(input)
+				if err != nil {
+					errs <- err
+					return
+				}
+				rec.Record(int64(start), int64(time.Since(base)), v)
+			}
+			errs <- nil
+		}(p, ops)
+	}
+	for p := 0; p < cfg.workers; p++ {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(base)
+	ops := rec.Ops()
+	fmt.Fprintf(w, "%s[%d] msgnet, %d workers, %d ops, faults=%.3g (seed %d), W=%v\n",
+		cfg.net, cfg.width, cfg.workers, cfg.ops, cfg.intensity, cfg.faultSeed, cfg.delay)
+	fmt.Fprintf(w, "elapsed %v, %.0f ops/s\n",
+		elapsed.Round(time.Millisecond), float64(len(ops))/elapsed.Seconds())
+	lat := make([]int64, len(ops))
+	for i, op := range ops {
+		lat[i] = op.End - op.Start
+	}
+	fmt.Fprintf(w, "latency (ns): %s\n", stats.Summarize(lat))
+	fmt.Fprintf(w, "linearizability: %s\n", lincheck.Analyze(ops))
+	if r := n.Ratio(); r != nil {
+		fmt.Fprintf(w, "measured Tog %.0fns, (Tog+W)/Tog = %.3f\n", r.Tog(), r.Value())
+	}
+	if inj := n.Faults(); inj != nil {
+		st := inj.Stats()
+		fmt.Fprintf(w, "faults: %d drops, %d dups, %d reorders, %d delays, %d partition-drops, %d crash-drops, %d stalls, %d forced\n",
+			st.Drops, st.Dups, st.Reorders, st.Delays, st.PartitionDrops, st.CrashDrops, st.Stalled, st.Forced)
+		fmt.Fprintf(w, "recovery: %d retries, %d duplicates suppressed\n", n.Retries(), n.Dedups())
+	}
+	if cfg.metrics != "" {
+		dest := w
+		if cfg.metrics != "-" {
+			f, err := os.Create(cfg.metrics)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			dest = f
+		}
+		reg.WriteText(dest)
+		if cfg.metrics != "-" {
+			fmt.Fprintf(w, "metrics written to %s\n", cfg.metrics)
 		}
 	}
 	return nil

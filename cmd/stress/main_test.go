@@ -38,3 +38,46 @@ func TestRunRejectsBadBalancer(t *testing.T) {
 		t.Error("bogus balancer accepted")
 	}
 }
+
+func TestRunMsgnetEngineFaultFree(t *testing.T) {
+	var sb strings.Builder
+	args := []string{"-engine", "msgnet", "-net", "bitonic", "-width", "4", "-workers", "4", "-ops", "400"}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"bitonic[4] msgnet", "faults=0", "ops/s", "linearizability:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// No injector means no fault/recovery tallies to report.
+	if strings.Contains(out, "recovery:") {
+		t.Errorf("fault-free run printed recovery stats:\n%s", out)
+	}
+}
+
+func TestRunMsgnetEngineWithFaults(t *testing.T) {
+	var sb strings.Builder
+	args := []string{"-engine", "msgnet", "-net", "bitonic", "-width", "4", "-workers", "4",
+		"-ops", "400", "-faults", "0.1", "-fault-seed", "7"}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"faults=0.1 (seed 7)", "faults:", "recovery:", "retries", "duplicates suppressed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsFaultsOnSHMEngine(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-faults", "0.1", "-ops", "10", "-workers", "1"}, &sb); err == nil {
+		t.Error("-faults accepted on the shm engine")
+	}
+	if err := run([]string{"-engine", "bogus", "-ops", "10", "-workers", "1"}, &sb); err == nil {
+		t.Error("bogus engine accepted")
+	}
+}

@@ -3,7 +3,8 @@
 // — the quiescent topo executor, the cycle simulator (internal/sim), the
 // real-goroutine runtime (internal/shm) both plain and behind the
 // elimination/combining funnel (internal/shm/combine), the message-passing
-// runtime (internal/msgnet), and the timed schedule executor
+// runtime (internal/msgnet) both fault-free and under deterministic fault
+// injection (internal/faults), and the timed schedule executor
 // (internal/schedule) —
 // and asserts the invariants that must hold in every engine, no matter the
 // interleaving:
@@ -33,7 +34,6 @@ import (
 	"time"
 
 	"countnet/internal/lincheck"
-	"countnet/internal/msgnet"
 	"countnet/internal/schedule"
 	"countnet/internal/topo"
 	"countnet/internal/workload"
@@ -285,47 +285,10 @@ func RunSHMCombined(spec workload.Spec) (*Execution, error) {
 
 // RunMsgnet executes the spec on the message-passing runtime: spec.Procs
 // goroutines issue spec.Ops traversals in total, each timestamped with the
-// monotonic clock.
+// monotonic clock. The shared harness lives in runMsgnet (faults.go),
+// which RunMsgnetFaulty reuses under a derived chaos plan.
 func RunMsgnet(spec workload.Spec) (*Execution, error) {
-	g, err := spec.Net.Build(spec.Width)
-	if err != nil {
-		return nil, err
-	}
-	n, err := msgnet.Start(g, 1)
-	if err != nil {
-		return nil, err
-	}
-	defer n.Close()
-	rec := lincheck.NewRecorder(spec.Ops)
-	base := time.Now()
-	errs := make(chan error, spec.Procs)
-	per := spec.Ops / spec.Procs
-	extra := spec.Ops % spec.Procs
-	for p := 0; p < spec.Procs; p++ {
-		ops := per
-		if p < extra {
-			ops++
-		}
-		go func(p, ops int) {
-			input := p % g.InWidth()
-			for i := 0; i < ops; i++ {
-				start := time.Since(base)
-				v, err := n.Traverse(input)
-				if err != nil {
-					errs <- err
-					return
-				}
-				rec.Record(int64(start), int64(time.Since(base)), v)
-			}
-			errs <- nil
-		}(p, ops)
-	}
-	for p := 0; p < spec.Procs; p++ {
-		if err := <-errs; err != nil {
-			return nil, fmt.Errorf("msgnet: %w", err)
-		}
-	}
-	return &Execution{Engine: "msgnet", Ops: rec.Ops()}, nil
+	return runMsgnet(spec, nil, "msgnet")
 }
 
 // Runner executes a concrete schedule on a graph. The default is the
@@ -407,11 +370,11 @@ func CheckPadded(g *topo.Graph, c *schedule.Concrete) error {
 	return nil
 }
 
-// CrossCheck runs the spec through all five execution engines — quiescent
-// topo, sim, shm, shm with the combining funnel, msgnet — and verifies the
-// universal invariants on each; any breach is an engine disagreement. The
-// returned error carries the spec's JSON so the failing cell can be
-// replayed exactly.
+// CrossCheck runs the spec through all six execution engines — quiescent
+// topo, sim, shm, shm with the combining funnel, msgnet, and msgnet under
+// the spec-derived fault plan — and verifies the universal invariants on
+// each; any breach is an engine disagreement. The returned error carries
+// the spec's JSON so the failing cell can be replayed exactly.
 func CrossCheck(spec workload.Spec) error {
 	if err := spec.Validate(); err != nil {
 		return err
@@ -430,7 +393,7 @@ func CrossCheck(spec workload.Spec) error {
 	if err != nil {
 		return replayable(spec, err)
 	}
-	for _, run := range []func(workload.Spec) (*Execution, error){RunSim, RunSHM, RunSHMCombined, RunMsgnet} {
+	for _, run := range []func(workload.Spec) (*Execution, error){RunSim, RunSHM, RunSHMCombined, RunMsgnet, RunMsgnetFaulty} {
 		exec, err := run(spec)
 		if err != nil {
 			return replayable(spec, err)

@@ -1,0 +1,172 @@
+package conformance
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"countnet/internal/faults"
+	"countnet/internal/workload"
+)
+
+// TestDerivePlanDeterministic: the plan is a pure function of the spec —
+// two derivations serialize to identical bytes, the replayability
+// contract behind the sixth engine.
+func TestDerivePlanDeterministic(t *testing.T) {
+	spec := workload.Spec{Net: workload.Bitonic, Width: 4, Procs: 3, Ops: 60, Seed: 21}
+	a, err := DerivePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DerivePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb bytes.Buffer
+	if err := faults.WritePlan(&ba, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := faults.WritePlan(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatalf("same spec derived different plans:\n%s\nvs\n%s", ba.String(), bb.String())
+	}
+	if a.Net != string(spec.Net) || a.Width != spec.Width || a.Ops != spec.Ops {
+		t.Errorf("plan missing workload hints: %+v", a)
+	}
+	spec.Seed++
+	c, err := DerivePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bc bytes.Buffer
+	if err := faults.WritePlan(&bc, c); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ba.Bytes(), bc.Bytes()) {
+		t.Error("different seeds derived the same plan")
+	}
+}
+
+// TestRunMsgnetFaulty: the sixth engine satisfies the universal
+// invariants on a representative spec.
+func TestRunMsgnetFaulty(t *testing.T) {
+	spec := workload.Spec{Net: workload.Periodic, Width: 4, Procs: 4, Ops: 120, Seed: 5}
+	exec, err := RunMsgnetFaulty(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Engine != "msgnet-faults" {
+		t.Errorf("engine = %q", exec.Engine)
+	}
+	if len(exec.Ops) != spec.Ops {
+		t.Fatalf("completed %d of %d ops", len(exec.Ops), spec.Ops)
+	}
+	if err := exec.CheckUniversal(spec.Width); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunMsgnetPlanEngineNames: explicit plans route to the right engine
+// label, nil and inactive plans to the fault-free one.
+func TestRunMsgnetPlanEngineNames(t *testing.T) {
+	spec := workload.Spec{Net: workload.Bitonic, Width: 2, Procs: 2, Ops: 20, Seed: 1}
+	for _, tc := range []struct {
+		plan *faults.Plan
+		want string
+	}{
+		{nil, "msgnet"},
+		{&faults.Plan{Seed: 1}, "msgnet"},
+		{faults.Chaos(1, 0.2, 0), "msgnet-faults"},
+	} {
+		exec, err := RunMsgnetPlan(spec, tc.plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exec.Engine != tc.want {
+			t.Errorf("plan %v: engine %q, want %q", tc.plan, exec.Engine, tc.want)
+		}
+		if err := exec.CheckUniversal(spec.Width); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestChaosSoakSmoke: a short chaos soak over the small matrix passes.
+func TestChaosSoakSmoke(t *testing.T) {
+	fail, rounds, err := ChaosSoak(ChaosConfig{
+		Nets:   []workload.NetKind{workload.Bitonic},
+		Widths: []int{2, 4},
+		Rounds: 4,
+		Ops:    48,
+		Seed:   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail != nil {
+		t.Fatalf("chaos soak failed: %v", fail)
+	}
+	if rounds != 8 {
+		t.Errorf("rounds = %d, want 8", rounds)
+	}
+}
+
+// TestChaosSoakShrinksInjectedBug: rig the soak's workload so it must
+// fail (ops mismatch via an impossible check is not available, so instead
+// drive chaosRound directly through Shrink) and confirm the shrinker
+// integration produces a failing minimal plan.
+func TestChaosShrinkIntegration(t *testing.T) {
+	spec := workload.Spec{Net: workload.Bitonic, Width: 2, Procs: 2, Ops: 24, Seed: 3}
+	// A synthetic predicate standing in for an invariant breach that only
+	// depends on duplication being enabled anywhere in the plan.
+	fails := func(p *faults.Plan) bool {
+		if p.Default.Dup > 0 {
+			return true
+		}
+		for _, lr := range p.Links {
+			if lr.Rule.Dup > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	start := &faults.Plan{
+		Seed:    9,
+		Default: faults.Rule{Drop: 0.4, Dup: 0.4, DelayNs: 1000},
+		Stalls:  []faults.Stall{{Node: 0, From: 0, To: 8, Crash: true}},
+	}
+	min := faults.Shrink(start, fails)
+	if !fails(min) {
+		t.Fatal("shrunk plan stopped failing")
+	}
+	if min.Default.Drop != 0 || min.Default.DelayNs != 0 || len(min.Stalls) != 0 {
+		t.Errorf("irrelevant chaos survived shrinking: %+v", min)
+	}
+	// The minimal plan must still drive a real (passing) chaos round —
+	// shrinker output is always runnable.
+	if err := chaosRound(spec, min); err != nil {
+		t.Fatalf("minimal plan not runnable: %v", err)
+	}
+}
+
+// TestCrossCheckIncludesFaultEngine: CrossCheck runs the fault-injected
+// engine (observable through injected fault tallies on a derived plan
+// known to be active) and still agrees across all six engines.
+func TestCrossCheckIncludesFaultEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-check in -short")
+	}
+	spec := workload.Spec{Net: workload.Bitonic, Width: 4, Procs: 4, Ops: 96, Seed: 11}
+	done := make(chan error, 1)
+	go func() { done <- CrossCheck(spec) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("CrossCheck deadlocked under fault injection")
+	}
+}

@@ -96,14 +96,16 @@ func Shrink(c *schedule.Concrete, fails Predicate) *schedule.Concrete {
 				}
 			}
 		}
-		// Pass 4: shift every arrival so the earliest is zero.
+		// Pass 4: shift every arrival so the earliest is zero. Skip
+		// token-less schedules: minT would keep its sentinel and the
+		// no-op shift would burn the whole budget re-proving failure.
 		var minT int64 = 1<<62 - 1
 		for _, tok := range cur.Tokens {
 			if tok.Time < minT {
 				minT = tok.Time
 			}
 		}
-		if minT > 0 {
+		if len(cur.Tokens) > 0 && minT > 0 {
 			cand := cur.Clone()
 			for i := range cand.Tokens {
 				cand.Tokens[i].Time -= minT

@@ -1,0 +1,67 @@
+package conformance
+
+import (
+	"reflect"
+	"testing"
+
+	"countnet/internal/schedule"
+)
+
+// Edge cases of the greedy schedule shrinker: inputs at the boundaries of
+// its passes (no tokens, one token, already-minimal) must come back
+// well-formed and unchanged where nothing can be removed.
+
+// TestShrinkEmptySchedule: a token-less schedule has nothing to shrink;
+// it must come back structurally identical (and not crash the
+// drop-tokens pass).
+func TestShrinkEmptySchedule(t *testing.T) {
+	c := &schedule.Concrete{Net: "bitonic", Width: 2, C1: 1, C2: 2}
+	calls := 0
+	got := Shrink(c, func(*schedule.Concrete) bool { calls++; return true })
+	if len(got.Tokens) != 0 || got.C1 != 1 || got.C2 != 2 {
+		t.Errorf("empty schedule changed: %+v", got)
+	}
+	if calls != 1 {
+		t.Errorf("empty schedule evaluated %d times, want 1 (confirmation only)", calls)
+	}
+}
+
+// TestShrinkSingleOp: the last token is never dropped (an empty
+// reproducer reproduces nothing), but its timing still minimizes.
+func TestShrinkSingleOp(t *testing.T) {
+	c := &schedule.Concrete{
+		Net: "bitonic", Width: 2, C1: 1, C2: 2,
+		Tokens: []schedule.ConcreteToken{{Time: 40, Input: 1, Delays: []int64{2, 2, 2}}},
+	}
+	got := Shrink(c, func(cand *schedule.Concrete) bool { return len(cand.Tokens) >= 1 })
+	if len(got.Tokens) != 1 {
+		t.Fatalf("single op dropped: %+v", got)
+	}
+	tok := got.Tokens[0]
+	if tok.Time != 0 {
+		t.Errorf("arrival not pulled to zero: %d", tok.Time)
+	}
+	if tok.Delays != nil {
+		t.Errorf("delay list not simplified away: %v", tok.Delays)
+	}
+}
+
+// TestShrinkAlreadyMinimalSchedule: a schedule that is already minimal
+// for its predicate returns unchanged.
+func TestShrinkAlreadyMinimalSchedule(t *testing.T) {
+	c := &schedule.Concrete{
+		Net: "dtree", Width: 2, C1: 3, C2: 6,
+		Tokens: []schedule.ConcreteToken{
+			{Time: 0, Input: 0},
+			{Time: 0, Input: 1},
+		},
+	}
+	// Failure needs both tokens; nothing else is removable.
+	got := Shrink(c, func(cand *schedule.Concrete) bool { return len(cand.Tokens) == 2 })
+	if !reflect.DeepEqual(got, c) {
+		t.Errorf("minimal schedule changed:\n got %+v\nwant %+v", got, c)
+	}
+	if got == c {
+		t.Error("Shrink returned the input pointer instead of a clone")
+	}
+}

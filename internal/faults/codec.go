@@ -1,0 +1,105 @@
+package faults
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// planHeader is the first JSONL line of a serialized plan.
+type planHeader struct {
+	Net        string `json:"net,omitempty"`
+	Width      int    `json:"width,omitempty"`
+	Procs      int    `json:"procs,omitempty"`
+	Ops        int    `json:"ops,omitempty"`
+	Seed       int64  `json:"seed"`
+	Default    Rule   `json:"default"`
+	Links      int    `json:"links"`
+	Partitions int    `json:"partitions"`
+	Stalls     int    `json:"stalls"`
+}
+
+// WritePlan serializes the plan as JSON Lines: a header with the workload
+// hints, seed, default rule, and section counts, then one line per link
+// override, partition, and stall, in that order. The plan is normalized
+// (sections sorted) first, so equal plans serialize to identical bytes —
+// the property behind the fixed-fault-seed reproducibility guarantee.
+func WritePlan(w io.Writer, p *Plan) error {
+	if p == nil {
+		return fmt.Errorf("faults: nil plan")
+	}
+	p.normalize()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(planHeader{
+		Net: p.Net, Width: p.Width, Procs: p.Procs, Ops: p.Ops,
+		Seed: p.Seed, Default: p.Default,
+		Links: len(p.Links), Partitions: len(p.Partitions), Stalls: len(p.Stalls),
+	}); err != nil {
+		return err
+	}
+	for i := range p.Links {
+		if err := enc.Encode(&p.Links[i]); err != nil {
+			return err
+		}
+	}
+	for i := range p.Partitions {
+		if err := enc.Encode(&p.Partitions[i]); err != nil {
+			return err
+		}
+	}
+	for i := range p.Stalls {
+		if err := enc.Encode(&p.Stalls[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPlan parses a plan serialized by WritePlan and validates it.
+func ReadPlan(r io.Reader) (*Plan, error) {
+	dec := json.NewDecoder(r)
+	var hdr planHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("faults: plan header: %w", err)
+	}
+	if hdr.Links < 0 || hdr.Partitions < 0 || hdr.Stalls < 0 {
+		return nil, fmt.Errorf("faults: negative section count in header")
+	}
+	p := &Plan{
+		Net: hdr.Net, Width: hdr.Width, Procs: hdr.Procs, Ops: hdr.Ops,
+		Seed: hdr.Seed, Default: hdr.Default,
+	}
+	for k := 0; k < hdr.Links; k++ {
+		var lr LinkRule
+		if err := dec.Decode(&lr); err != nil {
+			return nil, fmt.Errorf("faults: link rule %d: %w", k, err)
+		}
+		p.Links = append(p.Links, lr)
+	}
+	for k := 0; k < hdr.Partitions; k++ {
+		var part Partition
+		if err := dec.Decode(&part); err != nil {
+			return nil, fmt.Errorf("faults: partition %d: %w", k, err)
+		}
+		p.Partitions = append(p.Partitions, part)
+	}
+	for k := 0; k < hdr.Stalls; k++ {
+		var s Stall
+		if err := dec.Decode(&s); err != nil {
+			return nil, fmt.Errorf("faults: stall %d: %w", k, err)
+		}
+		p.Stalls = append(p.Stalls, s)
+	}
+	// A hand-edited file whose header counts disagree with its lines would
+	// otherwise be silently truncated.
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return nil, fmt.Errorf("faults: trailing data after declared sections (header count mismatch?)")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,128 @@
+package faults
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func samplePlan() *Plan {
+	return &Plan{
+		Net: "bitonic", Width: 4, Procs: 3, Ops: 200, Seed: 77,
+		Default: Rule{Drop: 0.2, DelayNs: 1000},
+		Links: []LinkRule{
+			{Link: 5, Rule: Rule{Dup: 0.4}},
+			{Link: 1, Rule: Rule{Reorder: 0.1, JitterNs: 30}},
+		},
+		Partitions: []Partition{
+			{Links: []int{3, 0}, From: 10, To: 20},
+			{Links: []int{2}, From: 0, To: 5},
+		},
+		Stalls: []Stall{
+			{Node: 4, From: 0, To: 8, Crash: true},
+			{Node: 1, From: 2, To: 3, PauseNs: 500},
+		},
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	p := samplePlan()
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPlan(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := samplePlan()
+	want.normalize()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestCanonicalBytes: equal plans — regardless of section ordering —
+// serialize to identical bytes, and re-serializing a read plan is a fixed
+// point. This is the byte-for-byte reproducibility contract the chaos CI
+// job checks end to end.
+func TestCanonicalBytes(t *testing.T) {
+	a := samplePlan()
+	b := samplePlan()
+	// Scramble b's section order; normalize must undo it.
+	b.Links[0], b.Links[1] = b.Links[1], b.Links[0]
+	b.Stalls[0], b.Stalls[1] = b.Stalls[1], b.Stalls[0]
+	var ba, bb bytes.Buffer
+	if err := WritePlan(&ba, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePlan(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatalf("equal plans serialized differently:\n%s\nvs\n%s", ba.String(), bb.String())
+	}
+	rt, err := ReadPlan(bytes.NewReader(ba.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bc bytes.Buffer
+	if err := WritePlan(&bc, rt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bc.Bytes()) {
+		t.Error("write-read-write is not a fixed point")
+	}
+}
+
+// TestGeneratedPlansRoundTrip fuzz-lite: every generated plan must survive
+// the codec unchanged.
+func TestGeneratedPlansRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for k := 0; k < 50; k++ {
+		p := Generate(rng, 12, 6, GenOptions{})
+		var buf bytes.Buffer
+		if err := WritePlan(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadPlan(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("plan %d: %v\n%s", k, err, buf.String())
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("plan %d round trip mismatch", k)
+		}
+	}
+}
+
+func TestReadPlanRejects(t *testing.T) {
+	good := func() string {
+		var buf bytes.Buffer
+		if err := WritePlan(&buf, samplePlan()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}()
+	cases := []struct {
+		name, input string
+	}{
+		{"empty", ""},
+		{"garbage header", "not json\n"},
+		{"trailing data", good + "{\"link\":9,\"rule\":{}}\n"},
+		{"truncated sections", strings.SplitAfter(good, "\n")[0]},
+		{"negative count", `{"seed":1,"default":{},"links":-1,"partitions":0,"stalls":0}` + "\n"},
+		{"invalid content", `{"seed":1,"default":{"drop":7},"links":0,"partitions":0,"stalls":0}` + "\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadPlan(strings.NewReader(tc.input)); err == nil {
+				t.Error("accepted")
+			}
+		})
+	}
+	if err := WritePlan(&bytes.Buffer{}, nil); err == nil {
+		t.Error("WritePlan accepted nil plan")
+	}
+}

@@ -1,0 +1,257 @@
+// Package faults is the deterministic fault-injection layer for the
+// message-passing engine (internal/msgnet): a Plan describes, per link and
+// per node, which message deliveries are dropped, duplicated, delayed, or
+// reordered, which links are partitioned over which windows, and which
+// processors stall or crash-restart. Plans are plain data — serializable
+// as JSONL (WritePlan/ReadPlan), generatable from a seed (Generate),
+// fuzzable, and shrinkable (Shrink) — so a chaos run is replayable
+// bit-for-bit the way a schedule.Concrete reproducer is.
+//
+// Every fault decision is a pure function of (plan seed, link id, link
+// clock): the Injector draws no wall-clock time and no global randomness,
+// so the same plan issues the same verdict sequence on every link in every
+// run. Which token meets which verdict still depends on goroutine
+// scheduling — msgnet is a real concurrent engine — but the quiescent
+// invariants the conformance harness checks (gapless permutation, exact
+// step tallies) are interleaving-independent, which is exactly what makes
+// chaos runs checkable.
+//
+// Faults are transient by construction: an Injector never fails the same
+// delivery more than MaxAttempts times in a row (the verdict is forced to
+// deliver afterwards), so any plan — including a fuzzer-generated drop
+// rate of 1.0 or a long partition — leaves the engine live. A permanently
+// dead link cannot count; a flaky one can, and the retry machinery in
+// msgnet is what this package exists to exercise.
+package faults
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Limits every Validate-accepted plan respects, chosen so arbitrary
+// (fuzzer-built) plans keep chaos runs fast and live: delays and stall
+// pauses stay well under a scheduler quantum pile-up, and fault windows
+// end after a bounded number of link-clock ticks.
+const (
+	// MaxDelayNs bounds per-delivery injected latency and stall pauses.
+	MaxDelayNs = int64(50_000_000) // 50ms
+	// MaxWindow bounds the length (in link-clock ticks) of partition and
+	// stall windows.
+	MaxWindow = int64(1 << 16)
+	// MaxAttempts is the number of consecutive times the Injector may
+	// fail one delivery before forcing it through — the transient-fault
+	// guarantee that keeps every plan deadlock-free.
+	MaxAttempts = 12
+)
+
+// Rule is the per-link fault distribution: independent probabilities for
+// dropping, duplicating, and reordering a delivery, plus a deterministic
+// extra latency of DelayNs + uniform[0, JitterNs).
+type Rule struct {
+	Drop    float64 `json:"drop,omitempty"`
+	Dup     float64 `json:"dup,omitempty"`
+	Reorder float64 `json:"reorder,omitempty"`
+	DelayNs int64   `json:"delay_ns,omitempty"`
+	// JitterNs widens DelayNs to a uniform band; 0 means the fixed delay
+	// only.
+	JitterNs int64 `json:"jitter_ns,omitempty"`
+}
+
+// Zero reports whether the rule injects no faults at all.
+func (r Rule) Zero() bool {
+	return r.Drop == 0 && r.Dup == 0 && r.Reorder == 0 && r.DelayNs == 0 && r.JitterNs == 0
+}
+
+func (r Rule) validate(what string) error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"drop", r.Drop}, {"dup", r.Dup}, {"reorder", r.Reorder}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faults: %s %s rate %g outside [0, 1]", what, p.name, p.v)
+		}
+	}
+	if r.DelayNs < 0 || r.DelayNs > MaxDelayNs {
+		return fmt.Errorf("faults: %s delay %dns outside [0, %d]", what, r.DelayNs, MaxDelayNs)
+	}
+	if r.JitterNs < 0 || r.JitterNs > MaxDelayNs {
+		return fmt.Errorf("faults: %s jitter %dns outside [0, %d]", what, r.JitterNs, MaxDelayNs)
+	}
+	return nil
+}
+
+// LinkRule overrides the plan's default rule on one link.
+type LinkRule struct {
+	Link int  `json:"link"`
+	Rule Rule `json:"rule"`
+}
+
+// Partition cuts a set of links for a window of their link clocks: every
+// delivery attempt with clock in [From, To) is dropped. Because retries
+// advance the clock, a partition always ends from the sender's point of
+// view — it models a transient outage, not a severed wire.
+type Partition struct {
+	Links []int `json:"links"`
+	From  int64 `json:"from"`
+	To    int64 `json:"to"`
+}
+
+// Stall models a slow or crashed processor over a window of the node's
+// inbound-delivery clock: deliveries in [From, To) are delayed by PauseNs
+// (a stalled node working through a GC pause or preemption), or dropped
+// entirely when Crash is set (the node is down; the sender's retries carry
+// the token across the restart).
+type Stall struct {
+	Node    int   `json:"node"`
+	From    int64 `json:"from"`
+	To      int64 `json:"to"`
+	PauseNs int64 `json:"pause_ns,omitempty"`
+	Crash   bool  `json:"crash,omitempty"`
+}
+
+// Plan is a complete serializable chaos scenario. Net/Width/Procs/Ops are
+// replay hints naming the workload the plan was generated against (the
+// way schedule.Concrete carries Net/Width); the fault content is Seed,
+// Default, Links, Partitions, and Stalls.
+type Plan struct {
+	Net   string
+	Width int
+	Procs int
+	Ops   int
+	// Seed drives every probabilistic verdict; two runs of the same plan
+	// issue identical verdict sequences per link.
+	Seed int64
+	// Default applies to every link without an override in Links.
+	Default Rule
+	// Links holds per-link overrides, sorted by link id.
+	Links []LinkRule
+	// Partitions and Stalls are the windowed outage events.
+	Partitions []Partition
+	Stalls     []Stall
+}
+
+// Validate checks rates, delays, and windows against the package limits.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return fmt.Errorf("faults: nil plan")
+	}
+	if err := p.Default.validate("default"); err != nil {
+		return err
+	}
+	for _, lr := range p.Links {
+		if lr.Link < 0 {
+			return fmt.Errorf("faults: negative link id %d", lr.Link)
+		}
+		if err := lr.Rule.validate(fmt.Sprintf("link %d", lr.Link)); err != nil {
+			return err
+		}
+	}
+	for i, part := range p.Partitions {
+		if len(part.Links) == 0 {
+			return fmt.Errorf("faults: partition %d cuts no links", i)
+		}
+		for _, l := range part.Links {
+			if l < 0 {
+				return fmt.Errorf("faults: partition %d cuts negative link %d", i, l)
+			}
+		}
+		if err := window(part.From, part.To, fmt.Sprintf("partition %d", i)); err != nil {
+			return err
+		}
+	}
+	for i, s := range p.Stalls {
+		if s.Node < 0 {
+			return fmt.Errorf("faults: stall %d on negative node %d", i, s.Node)
+		}
+		if s.PauseNs < 0 || s.PauseNs > MaxDelayNs {
+			return fmt.Errorf("faults: stall %d pause %dns outside [0, %d]", i, s.PauseNs, MaxDelayNs)
+		}
+		if err := window(s.From, s.To, fmt.Sprintf("stall %d", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func window(from, to int64, what string) error {
+	if from < 0 || to < from {
+		return fmt.Errorf("faults: %s window [%d, %d) is not a valid interval", what, from, to)
+	}
+	if to-from > MaxWindow {
+		return fmt.Errorf("faults: %s window length %d exceeds %d", what, to-from, MaxWindow)
+	}
+	return nil
+}
+
+// RuleFor returns the effective rule on the given link.
+func (p *Plan) RuleFor(link int) Rule {
+	for _, lr := range p.Links {
+		if lr.Link == link {
+			return lr.Rule
+		}
+	}
+	return p.Default
+}
+
+// Active reports whether the plan can inject any fault at all; msgnet
+// skips the injection path entirely for inactive plans.
+func (p *Plan) Active() bool {
+	if !p.Default.Zero() || len(p.Partitions) > 0 || len(p.Stalls) > 0 {
+		return true
+	}
+	for _, lr := range p.Links {
+		if !lr.Rule.Zero() {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone deep-copies the plan; the shrinker mutates clones.
+func (p *Plan) Clone() *Plan {
+	out := &Plan{
+		Net: p.Net, Width: p.Width, Procs: p.Procs, Ops: p.Ops,
+		Seed: p.Seed, Default: p.Default,
+	}
+	out.Links = append([]LinkRule(nil), p.Links...)
+	out.Partitions = make([]Partition, len(p.Partitions))
+	for i, part := range p.Partitions {
+		out.Partitions[i] = Partition{
+			Links: append([]int(nil), part.Links...),
+			From:  part.From, To: part.To,
+		}
+	}
+	out.Stalls = append([]Stall(nil), p.Stalls...)
+	return out
+}
+
+// normalize sorts the override and event lists so serialization is
+// canonical: two equal plans always write identical bytes.
+func (p *Plan) normalize() {
+	sort.Slice(p.Links, func(i, j int) bool { return p.Links[i].Link < p.Links[j].Link })
+	sort.Slice(p.Partitions, func(i, j int) bool {
+		a, b := p.Partitions[i], p.Partitions[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	for i := range p.Partitions {
+		sort.Ints(p.Partitions[i].Links)
+	}
+	sort.Slice(p.Stalls, func(i, j int) bool {
+		a, b := p.Stalls[i], p.Stalls[j]
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.From < b.From
+	})
+}
+
+// String summarizes the plan for log lines.
+func (p *Plan) String() string {
+	return fmt.Sprintf("plan{seed %d, drop %.3g/dup %.3g/reorder %.3g, delay %d+%dns, %d link rules, %d partitions, %d stalls}",
+		p.Seed, p.Default.Drop, p.Default.Dup, p.Default.Reorder,
+		p.Default.DelayNs, p.Default.JitterNs, len(p.Links), len(p.Partitions), len(p.Stalls))
+}

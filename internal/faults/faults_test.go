@@ -1,0 +1,110 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *Plan
+		ok   bool
+	}{
+		{"empty", &Plan{}, true},
+		{"full valid", &Plan{
+			Default:    Rule{Drop: 0.5, Dup: 1, Reorder: 0, DelayNs: MaxDelayNs, JitterNs: 1},
+			Links:      []LinkRule{{Link: 3, Rule: Rule{Drop: 1}}},
+			Partitions: []Partition{{Links: []int{0, 1}, From: 0, To: MaxWindow}},
+			Stalls:     []Stall{{Node: 2, From: 5, To: 6, PauseNs: 10}, {Node: 0, From: 0, To: 1, Crash: true}},
+		}, true},
+		{"drop above one", &Plan{Default: Rule{Drop: 1.001}}, false},
+		{"negative dup", &Plan{Default: Rule{Dup: -0.1}}, false},
+		{"delay above cap", &Plan{Default: Rule{DelayNs: MaxDelayNs + 1}}, false},
+		{"negative jitter", &Plan{Default: Rule{JitterNs: -1}}, false},
+		{"negative link id", &Plan{Links: []LinkRule{{Link: -1}}}, false},
+		{"bad link rule", &Plan{Links: []LinkRule{{Link: 0, Rule: Rule{Reorder: 2}}}}, false},
+		{"partition no links", &Plan{Partitions: []Partition{{From: 0, To: 1}}}, false},
+		{"partition negative link", &Plan{Partitions: []Partition{{Links: []int{-2}, From: 0, To: 1}}}, false},
+		{"inverted window", &Plan{Partitions: []Partition{{Links: []int{0}, From: 5, To: 4}}}, false},
+		{"negative window start", &Plan{Partitions: []Partition{{Links: []int{0}, From: -1, To: 4}}}, false},
+		{"window too long", &Plan{Partitions: []Partition{{Links: []int{0}, From: 0, To: MaxWindow + 1}}}, false},
+		{"stall negative node", &Plan{Stalls: []Stall{{Node: -1, From: 0, To: 1}}}, false},
+		{"stall pause above cap", &Plan{Stalls: []Stall{{Node: 0, From: 0, To: 1, PauseNs: MaxDelayNs + 1}}}, false},
+		{"stall inverted window", &Plan{Stalls: []Stall{{Node: 0, From: 3, To: 2}}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate()
+			if tc.ok && err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Error("invalid plan accepted")
+			}
+		})
+	}
+	var nilPlan *Plan
+	if nilPlan.Validate() == nil {
+		t.Error("nil plan accepted")
+	}
+}
+
+func TestRuleFor(t *testing.T) {
+	p := &Plan{
+		Default: Rule{Drop: 0.1},
+		Links:   []LinkRule{{Link: 2, Rule: Rule{Dup: 0.5}}},
+	}
+	if got := p.RuleFor(2); got.Dup != 0.5 || got.Drop != 0 {
+		t.Errorf("override link: got %+v", got)
+	}
+	if got := p.RuleFor(7); got.Drop != 0.1 {
+		t.Errorf("default link: got %+v", got)
+	}
+}
+
+func TestActive(t *testing.T) {
+	if (&Plan{Seed: 99}).Active() {
+		t.Error("empty plan active")
+	}
+	if (&Plan{Links: []LinkRule{{Link: 0}}}).Active() {
+		t.Error("zero-rule override counted as active")
+	}
+	for _, p := range []*Plan{
+		{Default: Rule{Drop: 0.01}},
+		{Default: Rule{JitterNs: 1}},
+		{Links: []LinkRule{{Link: 4, Rule: Rule{Reorder: 0.2}}}},
+		{Partitions: []Partition{{Links: []int{0}, From: 0, To: 1}}},
+		{Stalls: []Stall{{Node: 0, From: 0, To: 1}}},
+	} {
+		if !p.Active() {
+			t.Errorf("plan %v not active", p)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := &Plan{
+		Net: "bitonic", Width: 4, Procs: 2, Ops: 100, Seed: 7,
+		Default:    Rule{Drop: 0.3},
+		Links:      []LinkRule{{Link: 1, Rule: Rule{Dup: 0.2}}},
+		Partitions: []Partition{{Links: []int{0, 2}, From: 1, To: 9}},
+		Stalls:     []Stall{{Node: 3, From: 0, To: 4, Crash: true}},
+	}
+	c := p.Clone()
+	c.Links[0].Rule.Dup = 0.9
+	c.Partitions[0].Links[0] = 5
+	c.Stalls[0].Crash = false
+	c.Default.Drop = 0
+	if p.Links[0].Rule.Dup != 0.2 || p.Partitions[0].Links[0] != 0 ||
+		!p.Stalls[0].Crash || p.Default.Drop != 0.3 {
+		t.Error("Clone shares state with the original")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := (&Plan{Seed: 3, Default: Rule{Drop: 0.25}}).String()
+	if !strings.Contains(s, "seed 3") || !strings.Contains(s, "0.25") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,130 @@
+package faults
+
+import "math/rand"
+
+// GenOptions tunes the random-plan generator.
+type GenOptions struct {
+	// MaxRate bounds each drop/dup/reorder probability (default 0.25).
+	MaxRate float64
+	// MaxDelayNs bounds injected delays and stall pauses (default 20µs —
+	// large enough to scramble channel scheduling, small enough that
+	// chaos soaks stay fast).
+	MaxDelayNs int64
+	// MaxWindow bounds partition and stall window lengths in link-clock
+	// ticks (default 48).
+	MaxWindow int64
+	// MaxLinkRules, MaxPartitions, MaxStalls bound the section sizes
+	// (defaults 4, 2, 2).
+	MaxLinkRules, MaxPartitions, MaxStalls int
+}
+
+func (o GenOptions) withDefaults() GenOptions {
+	if o.MaxRate <= 0 {
+		o.MaxRate = 0.25
+	}
+	if o.MaxDelayNs <= 0 {
+		o.MaxDelayNs = 20_000
+	}
+	if o.MaxWindow <= 0 {
+		o.MaxWindow = 48
+	}
+	if o.MaxLinkRules <= 0 {
+		o.MaxLinkRules = 4
+	}
+	if o.MaxPartitions <= 0 {
+		o.MaxPartitions = 2
+	}
+	if o.MaxStalls <= 0 {
+		o.MaxStalls = 2
+	}
+	return o
+}
+
+// genRule draws one fault rule; each field is zero half the time so the
+// generator covers sparse plans (single fault kind) as well as dense ones.
+func genRule(rng *rand.Rand, opts GenOptions) Rule {
+	var r Rule
+	if rng.Intn(2) == 0 {
+		r.Drop = rng.Float64() * opts.MaxRate
+	}
+	if rng.Intn(2) == 0 {
+		r.Dup = rng.Float64() * opts.MaxRate
+	}
+	if rng.Intn(2) == 0 {
+		r.Reorder = rng.Float64() * opts.MaxRate
+	}
+	if rng.Intn(2) == 0 {
+		r.DelayNs = rng.Int63n(opts.MaxDelayNs + 1)
+	}
+	if rng.Intn(2) == 0 {
+		r.JitterNs = rng.Int63n(opts.MaxDelayNs + 1)
+	}
+	return r
+}
+
+// Generate draws one random, valid chaos plan for a network with the given
+// link and node counts. The result is a deterministic function of the
+// rng's state, so a fixed-seed rng reproduces the same plan sequence
+// byte-for-byte (after WritePlan's normalization).
+func Generate(rng *rand.Rand, links, nodes int, opts GenOptions) *Plan {
+	opts = opts.withDefaults()
+	p := &Plan{Seed: rng.Int63(), Default: genRule(rng, opts)}
+	if links > 0 {
+		for k, n := 0, rng.Intn(opts.MaxLinkRules+1); k < n; k++ {
+			p.Links = append(p.Links, LinkRule{Link: rng.Intn(links), Rule: genRule(rng, opts)})
+		}
+		for k, n := 0, rng.Intn(opts.MaxPartitions+1); k < n; k++ {
+			cut := 1 + rng.Intn(links)
+			seen := make([]int, 0, cut)
+			for len(seen) < cut {
+				seen = append(seen, rng.Intn(links))
+			}
+			from := rng.Int63n(4 * opts.MaxWindow)
+			p.Partitions = append(p.Partitions, Partition{
+				Links: seen, From: from, To: from + 1 + rng.Int63n(opts.MaxWindow),
+			})
+		}
+	}
+	if nodes > 0 {
+		for k, n := 0, rng.Intn(opts.MaxStalls+1); k < n; k++ {
+			from := rng.Int63n(4 * opts.MaxWindow)
+			s := Stall{
+				Node: rng.Intn(nodes),
+				From: from, To: from + 1 + rng.Int63n(opts.MaxWindow),
+				Crash: rng.Intn(2) == 0,
+			}
+			if !s.Crash {
+				s.PauseNs = rng.Int63n(opts.MaxDelayNs + 1)
+			}
+			p.Stalls = append(p.Stalls, s)
+		}
+	}
+	p.normalize()
+	return p
+}
+
+// Chaos builds the uniform all-links plan the CLIs expose as a single
+// intensity knob: drop rate = intensity, duplication and reordering at
+// half of it, plus delayNs of fixed per-delivery latency (the driver's
+// injected W). Intensity is clamped into [0, 1].
+func Chaos(seed int64, intensity float64, delayNs int64) *Plan {
+	if intensity < 0 {
+		intensity = 0
+	}
+	if intensity > 1 {
+		intensity = 1
+	}
+	if delayNs < 0 {
+		delayNs = 0
+	}
+	if delayNs > MaxDelayNs {
+		delayNs = MaxDelayNs
+	}
+	return &Plan{
+		Seed: seed,
+		Default: Rule{
+			Drop: intensity, Dup: intensity / 2, Reorder: intensity / 2,
+			DelayNs: delayNs,
+		},
+	}
+}

@@ -1,0 +1,70 @@
+package faults
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestGenerateValidAndDeterministic: generated plans always validate, and
+// a fixed-seed rng reproduces the identical plan sequence.
+func TestGenerateValidAndDeterministic(t *testing.T) {
+	a := rand.New(rand.NewSource(17))
+	b := rand.New(rand.NewSource(17))
+	active := 0
+	for k := 0; k < 100; k++ {
+		pa := Generate(a, 10, 5, GenOptions{})
+		pb := Generate(b, 10, 5, GenOptions{})
+		if err := pa.Validate(); err != nil {
+			t.Fatalf("plan %d invalid: %v", k, err)
+		}
+		if !reflect.DeepEqual(pa, pb) {
+			t.Fatalf("plan %d diverged across same-seed rngs", k)
+		}
+		if pa.Active() {
+			active++
+		}
+		for _, lr := range pa.Links {
+			if lr.Link >= 10 {
+				t.Fatalf("plan %d link override %d out of range", k, lr.Link)
+			}
+		}
+		for _, s := range pa.Stalls {
+			if s.Node >= 5 {
+				t.Fatalf("plan %d stall node %d out of range", k, s.Node)
+			}
+		}
+	}
+	if active == 0 {
+		t.Error("100 generated plans, none active")
+	}
+}
+
+// TestGenerateDegenerateNetwork: zero links/nodes must not panic and must
+// produce a plan with no per-link or per-node content.
+func TestGenerateDegenerateNetwork(t *testing.T) {
+	p := Generate(rand.New(rand.NewSource(1)), 0, 0, GenOptions{})
+	if len(p.Links) != 0 || len(p.Partitions) != 0 || len(p.Stalls) != 0 {
+		t.Errorf("degenerate network grew sections: %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChaosClamps(t *testing.T) {
+	p := Chaos(1, 2.5, MaxDelayNs*3)
+	if p.Default.Drop != 1 || p.Default.Dup != 0.5 || p.Default.DelayNs != MaxDelayNs {
+		t.Errorf("over-range inputs not clamped: %+v", p.Default)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+	p = Chaos(1, -3, -5)
+	if p.Active() {
+		t.Errorf("negative intensity produced an active plan: %+v", p.Default)
+	}
+	if got := Chaos(9, 0.2, 100); got.Default.Drop != 0.2 || got.Default.Reorder != 0.1 || got.Seed != 9 {
+		t.Errorf("in-range chaos plan wrong: %+v", got)
+	}
+}

@@ -1,0 +1,177 @@
+package faults
+
+import "testing"
+
+// TestVerdictSequenceDeterministic: two injectors built from the same plan
+// issue identical verdict sequences per link, the property every fixed-seed
+// chaos reproducer depends on.
+func TestVerdictSequenceDeterministic(t *testing.T) {
+	plan := &Plan{
+		Seed:       1234,
+		Default:    Rule{Drop: 0.4, Dup: 0.3, Reorder: 0.3, DelayNs: 100, JitterNs: 700},
+		Links:      []LinkRule{{Link: 1, Rule: Rule{Drop: 0.9}}},
+		Partitions: []Partition{{Links: []int{2}, From: 3, To: 9}},
+		Stalls:     []Stall{{Node: 0, From: 0, To: 5, PauseNs: 50}},
+	}
+	dests := []int{0, 1, 1, 2}
+	a := NewInjector(plan, dests)
+	b := NewInjector(plan, dests)
+	for link := 0; link < len(dests); link++ {
+		for k := 0; k < 200; k++ {
+			va, vb := a.Next(link, 0), b.Next(link, 0)
+			if va != vb {
+				t.Fatalf("link %d step %d: verdicts diverge: %+v vs %+v", link, k, va, vb)
+			}
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverge: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+// TestSeedChangesVerdicts: different seeds must produce different decision
+// sequences (with overwhelming probability at these sample sizes).
+func TestSeedChangesVerdicts(t *testing.T) {
+	mk := func(seed int64) *Injector {
+		return NewInjector(&Plan{Seed: seed, Default: Rule{Drop: 0.5}}, []int{0})
+	}
+	a, b := mk(1), mk(2)
+	same := true
+	for k := 0; k < 64; k++ {
+		if a.Next(0, 0).Drop != b.Next(0, 0).Drop {
+			same = false
+		}
+	}
+	if same {
+		t.Error("64 verdicts identical across different seeds")
+	}
+}
+
+// TestMaxAttemptsForcesDelivery: once attempt reaches MaxAttempts, no
+// verdict source — rule drop, partition, crash stall — may lose the
+// message.
+func TestMaxAttemptsForcesDelivery(t *testing.T) {
+	plan := &Plan{
+		Seed:       5,
+		Default:    Rule{Drop: 1},
+		Partitions: []Partition{{Links: []int{0}, From: 0, To: MaxWindow}},
+		Stalls:     []Stall{{Node: 0, From: 0, To: MaxWindow, Crash: true}},
+	}
+	in := NewInjector(plan, []int{0})
+	for k := 0; k < 50; k++ {
+		if v := in.Next(0, MaxAttempts); v.Drop {
+			t.Fatalf("attempt %d at MaxAttempts still dropped", k)
+		}
+	}
+	if in.Stats().Forced == 0 {
+		t.Error("forced deliveries not tallied")
+	}
+}
+
+// TestPartitionWindowEnds: drop verdicts stop once the link clock passes
+// the partition's To — retries advancing the clock is the liveness
+// mechanism.
+func TestPartitionWindowEnds(t *testing.T) {
+	plan := &Plan{Seed: 9, Partitions: []Partition{{Links: []int{0}, From: 0, To: 10}}}
+	in := NewInjector(plan, []int{0})
+	drops := 0
+	for k := 0; k < 30; k++ {
+		if in.Next(0, 0).Drop {
+			drops++
+		}
+	}
+	if drops != 10 {
+		t.Errorf("partition [0,10) dropped %d of 30 deliveries, want exactly 10", drops)
+	}
+	if got := in.Stats().PartitionDrops; got != 10 {
+		t.Errorf("PartitionDrops = %d, want 10", got)
+	}
+}
+
+// TestStallWindows: a non-crash stall delays, a crash stall drops, both on
+// the destination node's clock.
+func TestStallWindows(t *testing.T) {
+	plan := &Plan{Seed: 2, Stalls: []Stall{
+		{Node: 0, From: 0, To: 4, PauseNs: 123},
+		{Node: 1, From: 0, To: 4, Crash: true},
+	}}
+	in := NewInjector(plan, []int{0, 1})
+	for k := 0; k < 4; k++ {
+		if v := in.Next(0, 0); v.Drop || v.DelayNs != 123 {
+			t.Fatalf("stalled delivery %d: %+v", k, v)
+		}
+		if v := in.Next(1, 0); !v.Drop {
+			t.Fatalf("crashed-node delivery %d not dropped: %+v", k, v)
+		}
+	}
+	if v := in.Next(0, 0); v.DelayNs != 0 {
+		t.Errorf("stall leaked past window: %+v", v)
+	}
+	if v := in.Next(1, 0); v.Drop {
+		t.Errorf("crash leaked past window: %+v", v)
+	}
+	st := in.Stats()
+	if st.Stalled != 4 || st.CrashDrops != 4 {
+		t.Errorf("stats = %+v, want Stalled 4 CrashDrops 4", st)
+	}
+}
+
+// TestRateExtremes: rate 1 always faults, rate 0 never does.
+func TestRateExtremes(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 8, Default: Rule{Dup: 1, Reorder: 1}}, []int{0})
+	for k := 0; k < 100; k++ {
+		v := in.Next(0, 0)
+		if !v.Dup || !v.Reorder {
+			t.Fatalf("rate-1 delivery %d missing faults: %+v", k, v)
+		}
+		if v.Drop || v.DelayNs != 0 {
+			t.Fatalf("rate-0 fault fired on delivery %d: %+v", k, v)
+		}
+	}
+	st := in.Stats()
+	if st.Dups != 100 || st.Reorders != 100 || st.Drops != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestJitterBounded: injected delay stays within [DelayNs, DelayNs+JitterNs).
+func TestJitterBounded(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 4, Default: Rule{DelayNs: 100, JitterNs: 50}}, []int{0})
+	varied := false
+	for k := 0; k < 200; k++ {
+		v := in.Next(0, 0)
+		if v.DelayNs < 100 || v.DelayNs >= 150 {
+			t.Fatalf("delivery %d delay %d outside [100, 150)", k, v.DelayNs)
+		}
+		if v.DelayNs != 100 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("jitter never varied the delay")
+	}
+}
+
+// TestOutOfRangeEntriesIgnored: plan content referring past the network's
+// links/nodes must not panic or fault anything.
+func TestOutOfRangeEntriesIgnored(t *testing.T) {
+	plan := &Plan{
+		Seed:       6,
+		Links:      []LinkRule{{Link: 99, Rule: Rule{Drop: 1}}},
+		Partitions: []Partition{{Links: []int{99}, From: 0, To: 5}},
+		Stalls:     []Stall{{Node: 99, From: 0, To: 5, Crash: true}},
+	}
+	in := NewInjector(plan, []int{0})
+	for k := 0; k < 20; k++ {
+		if v := in.Next(0, 0); v.Drop || v.Dup || v.Reorder || v.DelayNs != 0 {
+			t.Fatalf("out-of-range plan entry faulted delivery %d: %+v", k, v)
+		}
+	}
+}
+
+func TestStatsFaults(t *testing.T) {
+	s := Stats{Drops: 1, Dups: 2, Delays: 3, Reorders: 4, PartitionDrops: 5, CrashDrops: 6, Stalled: 7, Forced: 100}
+	if got := s.Faults(); got != 28 {
+		t.Errorf("Faults() = %d, want 28 (Forced excluded)", got)
+	}
+}

@@ -1,0 +1,156 @@
+package faults
+
+// Predicate reports whether a candidate plan still fails — still triggers
+// the invariant breach being minimized.
+type Predicate func(*Plan) bool
+
+// shrinkBudget caps predicate evaluations, mirroring the conformance
+// schedule shrinker: greedy minimization converges far below this on real
+// failures, and each evaluation reruns a whole chaos workload.
+const shrinkBudget = 600
+
+// Shrink greedily minimizes a failing plan while the predicate keeps
+// failing, using the same pass structure as the conformance schedule
+// shrinker (conformance.Shrink): it drops whole sections first (stalls,
+// partitions, link overrides), then zeroes or halves the default rule's
+// fields, then narrows the surviving windows. The result is a minimal
+// chaos reproducer — typically the one fault ingredient that triggers the
+// breach — suitable for WritePlan and replay via `adversary -faults`.
+func Shrink(p *Plan, fails Predicate) *Plan {
+	cur := p.Clone()
+	if !fails(cur) {
+		return cur // not failing: nothing to preserve, return as-is
+	}
+	budget := shrinkBudget
+	try := func(cand *Plan) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		if fails(cand) {
+			cur = cand
+			return true
+		}
+		return false
+	}
+	for improved := true; improved && budget > 0; {
+		improved = false
+		// Pass 1: drop whole events and overrides, highest index first so
+		// earlier indices stay stable while iterating.
+		for i := len(cur.Stalls) - 1; i >= 0; i-- {
+			cand := cur.Clone()
+			cand.Stalls = append(cand.Stalls[:i], cand.Stalls[i+1:]...)
+			if try(cand) {
+				improved = true
+			}
+		}
+		for i := len(cur.Partitions) - 1; i >= 0; i-- {
+			cand := cur.Clone()
+			cand.Partitions = append(cand.Partitions[:i], cand.Partitions[i+1:]...)
+			if try(cand) {
+				improved = true
+			}
+		}
+		for i := len(cur.Links) - 1; i >= 0; i-- {
+			cand := cur.Clone()
+			cand.Links = append(cand.Links[:i], cand.Links[i+1:]...)
+			if try(cand) {
+				improved = true
+			}
+		}
+		// Pass 2: simplify the default rule — zero each field, else halve
+		// it toward zero.
+		if shrinkRule(&cur, try, func(c *Plan) *Rule { return &c.Default }) {
+			improved = true
+		}
+		for i := range cur.Links {
+			i := i
+			if shrinkRule(&cur, try, func(c *Plan) *Rule { return &c.Links[i].Rule }) {
+				improved = true
+			}
+		}
+		// Pass 3: narrow surviving windows (halve the length) and pull
+		// them toward clock zero.
+		for i := range cur.Partitions {
+			if shrinkWindow(&cur, try,
+				func(c *Plan) (*int64, *int64) { return &c.Partitions[i].From, &c.Partitions[i].To }) {
+				improved = true
+			}
+		}
+		for i := range cur.Stalls {
+			if shrinkWindow(&cur, try,
+				func(c *Plan) (*int64, *int64) { return &c.Stalls[i].From, &c.Stalls[i].To }) {
+				improved = true
+			}
+		}
+	}
+	return cur
+}
+
+// shrinkRule minimizes one rule in place: each non-zero field is first
+// zeroed, then halved, keeping only transformations that preserve failure.
+func shrinkRule(cur **Plan, try func(*Plan) bool, rule func(*Plan) *Rule) bool {
+	improved := false
+	zero := func(get func(*Rule) *float64) {
+		if *get(rule(*cur)) == 0 {
+			return
+		}
+		cand := (*cur).Clone()
+		*get(rule(cand)) = 0
+		if try(cand) {
+			improved = true
+			return
+		}
+		cand = (*cur).Clone()
+		*get(rule(cand)) /= 2
+		if try(cand) {
+			improved = true
+		}
+	}
+	zero(func(r *Rule) *float64 { return &r.Drop })
+	zero(func(r *Rule) *float64 { return &r.Dup })
+	zero(func(r *Rule) *float64 { return &r.Reorder })
+	zeroInt := func(get func(*Rule) *int64) {
+		if *get(rule(*cur)) == 0 {
+			return
+		}
+		cand := (*cur).Clone()
+		*get(rule(cand)) = 0
+		if try(cand) {
+			improved = true
+			return
+		}
+		cand = (*cur).Clone()
+		*get(rule(cand)) /= 2
+		if try(cand) {
+			improved = true
+		}
+	}
+	zeroInt(func(r *Rule) *int64 { return &r.DelayNs })
+	zeroInt(func(r *Rule) *int64 { return &r.JitterNs })
+	return improved
+}
+
+// shrinkWindow halves a window's length, then shifts it toward clock zero.
+func shrinkWindow(cur **Plan, try func(*Plan) bool, win func(*Plan) (*int64, *int64)) bool {
+	improved := false
+	if from, to := win(*cur); *to-*from > 1 {
+		length := *to - *from
+		cand := (*cur).Clone()
+		_, cto := win(cand)
+		*cto -= length / 2
+		if try(cand) {
+			improved = true
+		}
+	}
+	if from, _ := win(*cur); *from > 0 {
+		cand := (*cur).Clone()
+		cfrom, cto := win(cand)
+		*cto -= *cfrom
+		*cfrom = 0
+		if try(cand) {
+			improved = true
+		}
+	}
+	return improved
+}

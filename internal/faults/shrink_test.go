@@ -1,0 +1,94 @@
+package faults
+
+import "testing"
+
+// TestShrinkToSingleIngredient: when only one fault ingredient triggers
+// the failure, the shrinker must strip everything else.
+func TestShrinkToSingleIngredient(t *testing.T) {
+	p := &Plan{
+		Seed:    1,
+		Default: Rule{Drop: 0.8, Dup: 0.5, Reorder: 0.5, DelayNs: 100, JitterNs: 100},
+		Links: []LinkRule{
+			{Link: 0, Rule: Rule{Dup: 0.9}},
+			{Link: 3, Rule: Rule{Drop: 0.9}},
+		},
+		Partitions: []Partition{{Links: []int{1}, From: 0, To: 10}},
+		Stalls:     []Stall{{Node: 0, From: 0, To: 10, Crash: true}},
+	}
+	// The "bug" only needs a default drop rate above 0.05.
+	fails := func(c *Plan) bool { return c.Default.Drop > 0.05 }
+	min := Shrink(p, fails)
+	if !fails(min) {
+		t.Fatal("shrunk plan no longer fails")
+	}
+	if len(min.Links) != 0 || len(min.Partitions) != 0 || len(min.Stalls) != 0 {
+		t.Errorf("sections not stripped: %+v", min)
+	}
+	if min.Default.Dup != 0 || min.Default.Reorder != 0 || min.Default.DelayNs != 0 || min.Default.JitterNs != 0 {
+		t.Errorf("unrelated default fields not zeroed: %+v", min.Default)
+	}
+	if min.Default.Drop >= p.Default.Drop {
+		t.Errorf("drop rate not reduced: %g", min.Default.Drop)
+	}
+}
+
+// TestShrinkNonFailingReturnsClone: a plan the predicate passes comes back
+// unchanged (and not aliased to the input).
+func TestShrinkNonFailingReturnsClone(t *testing.T) {
+	p := &Plan{Seed: 2, Default: Rule{Drop: 0.5}, Stalls: []Stall{{Node: 0, From: 0, To: 3}}}
+	got := Shrink(p, func(*Plan) bool { return false })
+	if got == p {
+		t.Error("Shrink returned the input pointer")
+	}
+	if got.Default != p.Default || len(got.Stalls) != 1 {
+		t.Errorf("non-failing plan mutated: %+v", got)
+	}
+}
+
+// TestShrinkAlreadyMinimal: a minimal failing plan survives shrinking
+// intact.
+func TestShrinkAlreadyMinimal(t *testing.T) {
+	p := &Plan{Seed: 3, Partitions: []Partition{{Links: []int{0}, From: 0, To: 1}}}
+	min := Shrink(p, func(c *Plan) bool { return len(c.Partitions) == 1 })
+	if len(min.Partitions) != 1 || min.Partitions[0].To-min.Partitions[0].From != 1 {
+		t.Errorf("minimal plan changed: %+v", min)
+	}
+}
+
+// TestShrinkWindowNarrows: a window-dependent failure keeps a window but
+// gets it shortened and pulled toward clock zero.
+func TestShrinkWindowNarrows(t *testing.T) {
+	p := &Plan{
+		Seed:       4,
+		Partitions: []Partition{{Links: []int{0}, From: 40, To: 200}},
+		Stalls:     []Stall{{Node: 0, From: 8, To: 16, PauseNs: 100}},
+	}
+	fails := func(c *Plan) bool {
+		return len(c.Partitions) == 1 && c.Partitions[0].To > c.Partitions[0].From
+	}
+	min := Shrink(p, fails)
+	if len(min.Stalls) != 0 {
+		t.Errorf("irrelevant stall kept: %+v", min.Stalls)
+	}
+	win := min.Partitions[0]
+	if win.From != 0 || win.To-win.From >= 160 {
+		t.Errorf("window not narrowed/shifted: [%d, %d)", win.From, win.To)
+	}
+	if err := min.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShrinkRespectsBudget: the shrinker terminates against an
+// always-failing predicate without exceeding its evaluation budget.
+func TestShrinkRespectsBudget(t *testing.T) {
+	p := &Plan{Seed: 5, Default: Rule{Drop: 1, Dup: 1, Reorder: 1, DelayNs: MaxDelayNs, JitterNs: MaxDelayNs}}
+	calls := 0
+	min := Shrink(p, func(*Plan) bool { calls++; return true })
+	if calls > shrinkBudget+1 { // +1 for the initial confirmation run
+		t.Errorf("predicate evaluated %d times, budget %d", calls, shrinkBudget)
+	}
+	if !min.Default.Zero() {
+		t.Errorf("always-failing plan should shrink to the zero rule, got %+v", min.Default)
+	}
+}

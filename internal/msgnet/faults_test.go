@@ -1,0 +1,245 @@
+package msgnet
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"countnet/internal/bitonic"
+	"countnet/internal/faults"
+	"countnet/internal/obs"
+	"countnet/internal/topo"
+)
+
+// startFaulty launches g under the given plan and registers cleanup.
+func startFaulty(t *testing.T, g *topo.Graph, p *faults.Plan, m *obs.Registry) *Network {
+	t.Helper()
+	n, err := StartOpts(g, Options{Buffer: 1, Faults: p, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n
+}
+
+// runAll drives ops concurrent traversals across every input and returns
+// the sorted counter values.
+func runAll(t *testing.T, n *Network, g *topo.Graph, ops int) []int64 {
+	t.Helper()
+	vals := make([]int64, ops)
+	var wg sync.WaitGroup
+	for k := 0; k < ops; k++ {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := n.Traverse(k % g.InWidth())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			vals[k] = v
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// requirePermutation asserts the values are exactly 0..ops-1: every faulted
+// traversal produced exactly one counter value, none lost, none doubled.
+func requirePermutation(t *testing.T, vals []int64) {
+	t.Helper()
+	for i, v := range vals {
+		if v != int64(i) {
+			t.Fatalf("value[%d] = %d, want %d (gap or duplicate under faults)", i, v, i)
+		}
+	}
+}
+
+// TestHeavyChaosPermutation hits every fault kind at once — drops, dups,
+// reordering, jittered delays, a partition, a crash window, and a stall —
+// and requires the network to still hand out a gapless permutation.
+func TestHeavyChaosPermutation(t *testing.T) {
+	g, err := bitonic.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := NumLinks(g)
+	plan := &faults.Plan{
+		Seed:    42,
+		Default: faults.Rule{Drop: 0.3, Dup: 0.2, Reorder: 0.2, DelayNs: 500, JitterNs: 2_000},
+		Links: []faults.LinkRule{
+			{Link: 0, Rule: faults.Rule{Drop: 0.9, Dup: 0.5}},
+		},
+		Partitions: []faults.Partition{
+			{Links: []int{1, 2, links - 1}, From: 5, To: 40},
+		},
+		Stalls: []faults.Stall{
+			{Node: 0, From: 3, To: 30, Crash: true},
+			{Node: int(g.NumNodes()) - 1, From: 0, To: 50, PauseNs: 1_000},
+		},
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := startFaulty(t, g, plan, nil)
+	const ops = 300
+	requirePermutation(t, runAll(t, n, g, ops))
+	if n.Faults() == nil {
+		t.Fatal("active plan but nil injector")
+	}
+	if n.Faults().Stats().Faults() == 0 {
+		t.Error("heavy chaos plan injected zero faults")
+	}
+}
+
+// TestCertainDropStillDelivers sets Drop = 1.0 on every link: only the
+// MaxAttempts forced-delivery valve can ever let a token through, so this
+// is the liveness test for the retry loop.
+func TestCertainDropStillDelivers(t *testing.T) {
+	g, err := bitonic.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &faults.Plan{Seed: 7, Default: faults.Rule{Drop: 1}}
+	n := startFaulty(t, g, plan, nil)
+	requirePermutation(t, runAll(t, n, g, 40))
+	st := n.Faults().Stats()
+	if st.Forced == 0 {
+		t.Error("drop=1.0 run recorded no forced deliveries")
+	}
+	if n.Retries() == 0 {
+		t.Error("drop=1.0 run recorded no retries")
+	}
+}
+
+// TestCertainDupIsDeduplicated sets Dup = 1.0: every hop delivers twice,
+// and only receiver-side dedup keeps the count gapless.
+func TestCertainDupIsDeduplicated(t *testing.T) {
+	g, err := bitonic.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &faults.Plan{Seed: 11, Default: faults.Rule{Dup: 1}}
+	n := startFaulty(t, g, plan, nil)
+	requirePermutation(t, runAll(t, n, g, 100))
+	if n.Dedups() == 0 {
+		t.Error("dup=1.0 run suppressed no duplicates")
+	}
+}
+
+// TestInactivePlanZeroOverhead: a plan with no faults must leave the
+// engine on the fault-free path (no injector, no token ids).
+func TestInactivePlanZeroOverhead(t *testing.T) {
+	g, err := bitonic.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := startFaulty(t, g, &faults.Plan{Seed: 9}, nil)
+	if n.Faults() != nil {
+		t.Fatal("inactive plan built an injector")
+	}
+	requirePermutation(t, runAll(t, n, g, 20))
+}
+
+// TestInvalidPlanRejected: StartOpts must refuse a plan that fails
+// validation instead of running it.
+func TestInvalidPlanRejected(t *testing.T) {
+	g, err := bitonic.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StartOpts(g, Options{Faults: &faults.Plan{Default: faults.Rule{Drop: 1.5}}}); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}
+
+// TestFaultMetricsRegistered checks the fault metric family appears on the
+// registry and reflects the run.
+func TestFaultMetricsRegistered(t *testing.T) {
+	g, err := bitonic.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.NewRegistry()
+	plan := &faults.Plan{Seed: 3, Default: faults.Rule{Drop: 0.5, Dup: 0.3, DelayNs: 200}}
+	n := startFaulty(t, g, plan, m)
+	requirePermutation(t, runAll(t, n, g, 120))
+	var buf bytes.Buffer
+	m.WriteText(&buf)
+	text := buf.String()
+	for _, name := range []string{
+		"msgnet_fault_drops_total", "msgnet_fault_dups_total",
+		"msgnet_fault_delays_total", "msgnet_fault_forced_total",
+		"msgnet_retries_total", "msgnet_dedup_total", "msgnet_retry_wait_ns",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("metric %s not registered", name)
+		}
+	}
+	if n.Faults().Stats().Drops == 0 {
+		t.Error("drop tally stayed zero under drop=0.5")
+	}
+}
+
+// TestNumLinks checks the link numbering covers inputs plus every output
+// port exactly once.
+func TestNumLinks(t *testing.T) {
+	g, err := bitonic.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.InWidth()
+	for id := 0; id < g.NumNodes(); id++ {
+		want += g.FanOut(topo.NodeID(id))
+	}
+	if got := NumLinks(g); got != want {
+		t.Fatalf("NumLinks = %d, want %d", got, want)
+	}
+	base, dests := linkTables(g)
+	if len(dests) != want {
+		t.Fatalf("linkTables dests = %d links, want %d", len(dests), want)
+	}
+	for id := 0; id < g.NumNodes(); id++ {
+		for p := 0; p < g.FanOut(topo.NodeID(id)); p++ {
+			l := base[id] + p
+			if dests[l] != int(g.OutDest(topo.NodeID(id), p).Node) {
+				t.Fatalf("link %d dest = %d, want %d", l, dests[l],
+					g.OutDest(topo.NodeID(id), p).Node)
+			}
+		}
+	}
+}
+
+// TestCloseUnderFaults: Close during a chaos run must terminate every
+// node and courier goroutine (the test would hang or leak otherwise).
+func TestCloseUnderFaults(t *testing.T) {
+	g, err := bitonic.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &faults.Plan{Seed: 5, Default: faults.Rule{Drop: 0.6, Dup: 0.6, Reorder: 0.6, DelayNs: 5_000}}
+	n, err := StartOpts(g, Options{Buffer: 1, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < 32; k++ {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = n.Traverse(k % g.InWidth())
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	n.Close()
+	wg.Wait() // every Traverse must return (value or closed error)
+}

@@ -9,8 +9,10 @@ package msgnet
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"countnet/internal/faults"
 	"countnet/internal/obs"
 	"countnet/internal/topo"
 )
@@ -18,6 +20,9 @@ import (
 // token is one counting request in flight.
 type token struct {
 	reply chan int64
+	// id is the token's network-unique identity, used by receivers to
+	// deduplicate faulty deliveries; 0 on fault-free networks (no dedup).
+	id uint64
 	// Tracing identity and the enqueue timestamp of the current hop;
 	// proc/tok are -1 for untraced traversals.
 	proc, tok int32
@@ -38,6 +43,12 @@ type Options struct {
 	// EffWait is the W (in nanoseconds) of the live (Tog+W)/Tog gauge —
 	// whatever per-node delay the driver injects; zero when none.
 	EffWait float64
+	// Faults, when non-nil and active, runs the network under the plan's
+	// deterministic fault injection: link drops with retransmission,
+	// duplicates, reordering, delays, partitions, and node stalls or
+	// crash windows. The plan is validated; a plan with no faults at all
+	// leaves the engine on its zero-overhead path.
+	Faults *faults.Plan
 }
 
 // netObs is the observability state of a running network.
@@ -46,6 +57,7 @@ type netObs struct {
 	clock func() int64
 	tog   *obs.Histogram
 	ratio *obs.Ratio
+	retry *obs.Histogram // backoff waits of fault retransmissions
 }
 
 // Network is a running message-passing balancing network. Create with
@@ -57,6 +69,14 @@ type Network struct {
 	done   sync.WaitGroup
 	closed sync.Once
 	obs    *netObs // nil when neither tracer nor metrics configured
+
+	// Fault-injection state; inj is nil on fault-free networks and the
+	// rest is untouched.
+	inj      *faults.Injector
+	linkBase []int // link id of each node's output port 0
+	nextID   atomic.Uint64
+	retries  atomic.Int64
+	dedups   atomic.Int64
 }
 
 // Start launches one goroutine per node of g. buffer is the capacity of
@@ -79,6 +99,14 @@ func StartOpts(g *topo.Graph, opts Options) (*Network, error) {
 		inbox: make([]chan token, g.NumNodes()),
 		stop:  make(chan struct{}),
 	}
+	if p := opts.Faults; p != nil && p.Active() {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		var dests []int
+		n.linkBase, dests = linkTables(g)
+		n.inj = faults.NewInjector(p, dests)
+	}
 	if opts.Tracer != nil || opts.Metrics != nil {
 		base := time.Now()
 		o := &netObs{tr: opts.Tracer, clock: func() int64 { return int64(time.Since(base)) }}
@@ -89,6 +117,10 @@ func StartOpts(g *topo.Graph, opts Options) (*Network, error) {
 				id := id
 				opts.Metrics.GaugeFunc(fmt.Sprintf("msgnet_node%03d_queue", id),
 					func() float64 { return float64(len(n.inbox[id])) })
+			}
+			if n.inj != nil {
+				o.retry = opts.Metrics.Histogram("msgnet_retry_wait_ns")
+				registerFaultMetrics(opts.Metrics, n)
 			}
 		}
 		n.obs = o
@@ -119,9 +151,22 @@ func (n *Network) balancer(id topo.NodeID) {
 	}
 	toggle := 0
 	o := n.obs
+	var seen map[uint64]struct{}
+	if n.inj != nil {
+		seen = make(map[uint64]struct{})
+	}
 	for {
 		select {
 		case t := <-n.inbox[id]:
+			if seen != nil && t.id != 0 {
+				// The topology is a DAG, so a token reaches each node at
+				// most once: a repeated id here is a faulty duplicate.
+				if _, dup := seen[t.id]; dup {
+					n.dedups.Add(1)
+					continue
+				}
+				seen[t.id] = struct{}{}
+			}
 			if o != nil {
 				now := o.clock()
 				wait := now - t.enq
@@ -135,17 +180,24 @@ func (n *Network) balancer(id topo.NodeID) {
 				}
 				t.enq = o.clock()
 			}
-			dest := dests[toggle]
+			port := toggle
 			toggle = (toggle + 1) % fanOut
-			select {
-			case dest <- t:
-			case <-n.stop:
+			if !n.forward(n.linkOf(id, port), dests[port], t) {
 				return
 			}
 		case <-n.stop:
 			return
 		}
 	}
+}
+
+// linkOf returns the link id of node id's output port p; meaningful only
+// while fault injection is active (linkBase is nil otherwise).
+func (n *Network) linkOf(id topo.NodeID, p int) int {
+	if n.linkBase == nil {
+		return 0
+	}
+	return n.linkBase[id] + p
 }
 
 // counter assigns i + w*a to the a-th arriving token and replies.
@@ -155,9 +207,23 @@ func (n *Network) counter(id topo.NodeID) {
 	w := int64(n.g.OutWidth())
 	var count int64
 	o := n.obs
+	var seen map[uint64]struct{}
+	if n.inj != nil {
+		seen = make(map[uint64]struct{})
+	}
 	for {
 		select {
 		case t := <-n.inbox[id]:
+			if seen != nil && t.id != 0 {
+				// Deduplicate before taking a count: a faulty duplicate
+				// must neither consume a value nor double-reply on the
+				// token's capacity-1 reply channel.
+				if _, dup := seen[t.id]; dup {
+					n.dedups.Add(1)
+					continue
+				}
+				seen[t.id] = struct{}{}
+			}
 			v := idx + w*count
 			count++
 			if o != nil && o.tr != nil {
@@ -186,6 +252,9 @@ func (n *Network) TraverseObs(input int, proc, tok int32) (int64, error) {
 		return 0, fmt.Errorf("msgnet: input %d out of range [0,%d)", input, n.g.InWidth())
 	}
 	t := token{reply: make(chan int64, 1), proc: proc, tok: tok}
+	if n.inj != nil {
+		t.id = n.nextID.Add(1)
+	}
 	o := n.obs
 	var start int64
 	if o != nil {
@@ -196,10 +265,9 @@ func (n *Network) TraverseObs(input int, proc, tok int32) (int64, error) {
 				P: proc, Tok: tok, Node: -1, Value: -1})
 		}
 	}
-	entry := n.inbox[n.g.Input(input).Node]
-	select {
-	case entry <- t:
-	case <-n.stop:
+	// Input i rides link i; the entry hop is fault-injectable like any
+	// other wire.
+	if !n.forward(input, n.inbox[n.g.Input(input).Node], t) {
 		return 0, fmt.Errorf("msgnet: network closed")
 	}
 	select {

@@ -104,6 +104,32 @@ func Pause(d time.Duration) {
 // to the spin ladder for sub-microsecond landing precision.
 const spinHorizon = 2 * time.Microsecond
 
+// Exp returns the capped exponential retry delay for the given attempt:
+// base<<attempt, saturating at limit. The msgnet fault-recovery path uses
+// it as the per-hop retransmission timeout (Pause(Exp(base, limit, n))
+// between re-sends). Saturation is exact: a shift that would overflow —
+// or merely exceed the cap — returns limit, never a negative or wrapped
+// duration, and non-positive inputs return 0 so a disabled retry policy
+// costs nothing.
+func Exp(base, limit time.Duration, attempt int) time.Duration {
+	if base <= 0 || limit <= 0 {
+		return 0
+	}
+	if base >= limit {
+		return limit
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	// Saturate without ever computing an overflowing shift: base<<attempt
+	// exceeds limit exactly when base exceeds limit>>attempt (both sides
+	// truncate the same low bits).
+	if attempt >= 63 || base > limit>>uint(attempt) {
+		return limit
+	}
+	return base << uint(attempt)
+}
+
 // Burn occupies the calling goroutine's processor for d without
 // yielding it: the stand-in for per-node costs that hold the hardware —
 // cache-coherence stalls, spinning in a lock queue — as opposed to
