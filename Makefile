@@ -50,7 +50,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/shm/... ./internal/msgnet/... ./internal/conformance/...
+	$(GO) test -race ./internal/obs/... ./internal/shm/... ./internal/msgnet/... ./internal/conformance/...
 
 # chaos is the CI chaos job locally: a race-checked fault-plan soak on
 # the msgnet engine with a fixed seed (byte-for-byte reproducible); a
@@ -59,12 +59,15 @@ race:
 chaos:
 	$(GO) run -race ./cmd/conformance -mode chaos -rounds 10 -fault-seed 1 -shrink -out chaos-plan.jsonl
 
-# bench runs the root (simulator-facing) and internal/shm benchmarks and
-# writes the machine-readable BENCH_sim.json / BENCH_shm.json files whose
-# format is documented in EXPERIMENTS.md (E20).
+# bench runs the root (simulator-facing), internal/shm, and internal/obs
+# benchmarks and writes the machine-readable BENCH_sim.json /
+# BENCH_shm.json / BENCH_obs.json files whose format is documented in
+# EXPERIMENTS.md (E20). The obs run doubles as the measurement-cost
+# record: span stamping and flight recording are 0 allocs/op.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem . | $(GO) run ./cmd/benchfmt -o BENCH_sim.json
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/shm | $(GO) run ./cmd/benchfmt -o BENCH_shm.json
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/obs | $(GO) run ./cmd/benchfmt -o BENCH_obs.json
 
 clean:
-	rm -f BENCH_sim.json BENCH_shm.json chaos-plan.jsonl
+	rm -f BENCH_sim.json BENCH_shm.json BENCH_obs.json chaos-plan.jsonl

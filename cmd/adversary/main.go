@@ -27,6 +27,7 @@ import (
 	"countnet/internal/dtree"
 	"countnet/internal/faults"
 	"countnet/internal/lincheck"
+	"countnet/internal/obs"
 	"countnet/internal/schedule"
 	"countnet/internal/topo"
 	"countnet/internal/workload"
@@ -57,10 +58,10 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	if *faultsP != "" {
-		return replayFaultPlan(w, *faultsP)
+		return replayFaultPlan(w, *faultsP, *trace)
 	}
 	if *faultSd != 0 {
-		return derivedFaultRun(w, *net, *width, *faultSd)
+		return derivedFaultRun(w, *net, *width, *faultSd, *trace)
 	}
 	if *replay != "" {
 		return replaySchedule(w, *replay, *trace)
@@ -205,7 +206,7 @@ func replaySchedule(w io.Writer, path, tracePath string) error {
 // replayFaultPlan reruns a serialized chaos plan on the msgnet engine —
 // the fault-layer twin of replaySchedule — and reports whether the
 // quiescent invariants survive it.
-func replayFaultPlan(w io.Writer, path string) error {
+func replayFaultPlan(w io.Writer, path, tracePath string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -219,13 +220,13 @@ func replayFaultPlan(w io.Writer, path string) error {
 		return fmt.Errorf("faults: plan %s names no workload (net=%q width=%d)", path, plan.Net, plan.Width)
 	}
 	fmt.Fprintf(w, "== chaos replay %s ==\n", path)
-	return runFaultPlan(w, plan)
+	return runFaultPlan(w, plan, tracePath)
 }
 
 // derivedFaultRun generates the deterministic chaos plan for (net, width,
 // seed) — the same derivation the conformance chaos engine uses — and
 // runs it.
-func derivedFaultRun(w io.Writer, net string, width int, seed int64) error {
+func derivedFaultRun(w io.Writer, net string, width int, seed int64, tracePath string) error {
 	spec := workload.Spec{Net: workload.NetKind(net), Width: width, Procs: 4, Ops: 256, Seed: seed}
 	if err := spec.Validate(); err != nil {
 		return err
@@ -235,12 +236,14 @@ func derivedFaultRun(w io.Writer, net string, width int, seed int64) error {
 		return err
 	}
 	fmt.Fprintf(w, "== chaos run (derived from fault-seed %d) ==\n", seed)
-	return runFaultPlan(w, plan)
+	return runFaultPlan(w, plan, tracePath)
 }
 
 // runFaultPlan executes one plan against its embedded workload hints and
 // prints the plan, the invariant verdict, and the linearizability report.
-func runFaultPlan(w io.Writer, plan *faults.Plan) error {
+// With tracePath the run is traced and the span-stamped causal trace is
+// exported (JSONL or Chrome, by extension) for tracetool/Perfetto.
+func runFaultPlan(w io.Writer, plan *faults.Plan, tracePath string) error {
 	spec := workload.Spec{
 		Net: workload.NetKind(plan.Net), Width: plan.Width,
 		Procs: plan.Procs, Ops: plan.Ops, Seed: plan.Seed,
@@ -261,9 +264,34 @@ func runFaultPlan(w io.Writer, plan *faults.Plan) error {
 	fmt.Fprintf(w, "network: %s\n", topo.Summary(g))
 	fmt.Fprintf(w, "plan:    %v\n", plan)
 	fmt.Fprintf(w, "workload: %d procs, %d ops\n", spec.Procs, spec.Ops)
-	exec, err := conformance.RunMsgnetPlan(spec, plan)
+	var ring *obs.Ring
+	if tracePath != "" {
+		ring = obs.NewRing(spec.Procs, 1<<16)
+	}
+	var exec *conformance.Execution
+	if ring != nil {
+		exec, err = conformance.RunMsgnetPlanTraced(spec, plan, ring, nil)
+	} else {
+		exec, err = conformance.RunMsgnetPlan(spec, plan)
+	}
 	if err != nil {
 		return err
+	}
+	if ring != nil {
+		meta := obs.Meta{Engine: "msgnet-faults", Unit: "ns", Net: plan.Net, Width: plan.Width}
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := obs.ExportFile(f, tracePath, meta, ring.Events()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace written to %s (%d events, %d overwritten; analyze with: tracetool -in %s)\n",
+			tracePath, len(ring.Events()), ring.Overwritten(), tracePath)
 	}
 	if len(exec.Ops) != spec.Ops {
 		return fmt.Errorf("chaos: completed %d of %d operations", len(exec.Ops), spec.Ops)

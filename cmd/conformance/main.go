@@ -64,6 +64,7 @@ func run(args []string, w io.Writer) error {
 		shrink  = fs.Bool("shrink", false, "minimize a failing schedule before reporting it")
 		out     = fs.String("out", "", "write the failing schedule (JSONL) to this file instead of stdout")
 		trace   = fs.String("trace", "", "write the witness-correlated trace slice to this file (default <out>.trace.json)")
+		flight  = fs.String("flight", "", "write the violation's flight-recorder dump (full causal trace, JSONL) to this file (default <out>.flight.jsonl)")
 		metrics = fs.String("metrics", "", `write the plain-text metrics dump to this file ("-" for stdout)`)
 		pprofA  = fs.String("pprof", "", "serve net/http/pprof and /metrics on this address while running")
 	)
@@ -81,6 +82,9 @@ func run(args []string, w io.Writer) error {
 	}
 	if *trace == "" && *out != "" {
 		*trace = *out + ".trace.json"
+	}
+	if *flight == "" && *out != "" {
+		*flight = *out + ".flight.jsonl"
 	}
 	kinds, err := parseNets(*nets)
 	if err != nil {
@@ -100,7 +104,7 @@ func run(args []string, w io.Writer) error {
 		runErr = crossEngine(w, reg, kinds, sizes, *procs, *ops, *seed)
 	}
 	if runErr == nil && (*mode == "all" || *mode == "soak") {
-		runErr = soak(w, reg, kinds, sizes, *rounds, *seed, *shrink, *out, *trace)
+		runErr = soak(w, reg, kinds, sizes, *rounds, *seed, *shrink, *out, *trace, *flight)
 	}
 	if runErr == nil && *mode == "chaos" {
 		runErr = chaos(w, reg, kinds, sizes, *rounds, *ops, *procs, *faultSd, *shrink, *out)
@@ -148,7 +152,7 @@ func crossEngine(w io.Writer, reg *obs.Registry, nets []workload.NetKind, widths
 // soak fuzzes random timing schedules and reports, or serializes, the
 // first invariant breach, with its witness-correlated trace slice when the
 // breach is a linearizability violation.
-func soak(w io.Writer, reg *obs.Registry, nets []workload.NetKind, widths []int, rounds int, seed int64, shrink bool, outPath, tracePath string) error {
+func soak(w io.Writer, reg *obs.Registry, nets []workload.NetKind, widths []int, rounds int, seed int64, shrink bool, outPath, tracePath, flightPath string) error {
 	fmt.Fprintf(w, "== schedule-fuzzing soak (%d rounds per cell, seed %d) ==\n", rounds, seed)
 	roundsMetric := reg.Counter("conformance_soak_rounds_total")
 	failures := reg.Counter("conformance_soak_failures_total")
@@ -185,8 +189,8 @@ func soak(w io.Writer, reg *obs.Registry, nets []workload.NetKind, widths []int,
 	if err := schedule.WriteConcrete(dest, fail.Sched); err != nil {
 		return err
 	}
-	if tracePath != "" {
-		if err := writeWitnessTrace(w, fail, tracePath); err != nil {
+	if tracePath != "" || flightPath != "" {
+		if err := writeWitnessTrace(w, fail, tracePath, flightPath); err != nil {
 			fmt.Fprintf(w, "witness trace: %v\n", err)
 		}
 	}
@@ -239,9 +243,11 @@ func chaos(w io.Writer, reg *obs.Registry, nets []workload.NetKind, widths []int
 }
 
 // writeWitnessTrace reruns the reproducer with tracing and writes the
-// violation-window slice next to it; a breach of a non-linearizability
-// invariant has no witness pair and is reported as such.
-func writeWitnessTrace(w io.Writer, fail *conformance.SoakFailure, path string) error {
+// violation-window slice next to it, plus (when flightPath is set) the
+// flight-recorder dump carrying the full causal trace with reason
+// "lincheck-violation"; a breach of a non-linearizability invariant has
+// no witness pair and is reported as such.
+func writeWitnessTrace(w io.Writer, fail *conformance.SoakFailure, path, flightPath string) error {
 	g, err := fail.Net.Build(fail.Width)
 	if err != nil {
 		return err
@@ -254,12 +260,21 @@ func writeWitnessTrace(w io.Writer, fail *conformance.SoakFailure, path string) 
 		fmt.Fprintf(w, "breach has no linearizability witness; no trace slice written\n")
 		return nil
 	}
-	if err := wt.WriteFile(path); err != nil {
-		return err
-	}
 	fmt.Fprintf(w, "witness %s\n", wt.Witness)
-	fmt.Fprintf(w, "trace slice [%d,%d] (%d events) written to %s (open in Perfetto)\n",
-		wt.From, wt.To, len(wt.Events), path)
+	if path != "" {
+		if err := wt.WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace slice [%d,%d] (%d events) written to %s (open in Perfetto)\n",
+			wt.From, wt.To, len(wt.Events), path)
+	}
+	if flightPath != "" {
+		dumped, err := wt.DumpFlight(flightPath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "flight dump written to %s (analyze with: tracetool -in %s)\n", dumped, dumped)
+	}
 	return nil
 }
 

@@ -79,6 +79,7 @@ func run(args []string, w io.Writer) error {
 		faultSd = fs.Int64("fault-seed", 1, "seed for the deterministic fault plan")
 		seed    = fs.Int64("seed", 1, "workload seed")
 		trace   = fs.String("trace", "", "export token trace to this file (.jsonl, or Chrome trace_event otherwise)")
+		flight  = fs.String("flight", "", "arm a flight recorder dumping the last events to this JSONL file on a liveness-valve trip or panic (msgnet engine)")
 		metrics = fs.String("metrics", "", `write the plain-text metrics dump to this file ("-" for stdout)`)
 		pprofA  = fs.String("pprof", "", "serve net/http/pprof and /metrics on this address while running")
 	)
@@ -100,11 +101,14 @@ func run(args []string, w io.Writer) error {
 		return runMsgnetStress(w, msgnetStressConfig{
 			net: *net, width: *width, workers: *workers, ops: *ops,
 			delay: *delay, intensity: *faultsF, faultSeed: *faultSd,
-			metrics: *metrics,
+			trace: *trace, flight: *flight, metrics: *metrics,
 		})
 	case "shm":
 		if *faultsF != 0 {
 			return fmt.Errorf("-faults requires -engine msgnet")
+		}
+		if *flight != "" {
+			return fmt.Errorf("-flight requires -engine msgnet")
 		}
 	default:
 		return fmt.Errorf("unknown engine %q", *engine)
@@ -204,6 +208,7 @@ type msgnetStressConfig struct {
 	delay               time.Duration
 	intensity           float64
 	faultSeed           int64
+	trace, flight       string
 	metrics             string
 }
 
@@ -219,16 +224,34 @@ func runMsgnetStress(w io.Writer, cfg msgnetStressConfig) error {
 	plan := faults.Chaos(cfg.faultSeed, cfg.intensity, cfg.delay.Nanoseconds())
 	plan.Net, plan.Width, plan.Procs, plan.Ops = cfg.net, cfg.width, cfg.workers, cfg.ops
 	reg := obs.NewRegistry()
-	n, err := msgnet.StartOpts(g, msgnet.Options{
+	meta := obs.Meta{Engine: "msgnet", Unit: "ns", Net: cfg.net, Width: cfg.width}
+	var ring *obs.Ring
+	if cfg.trace != "" {
+		ring = obs.NewRing(cfg.workers, 1<<16)
+	}
+	var flight *obs.Flight
+	if cfg.flight != "" {
+		flight = obs.NewFlight(meta, cfg.workers, 1<<12)
+		flight.SetAutoDump(cfg.flight)
+		// A panic anywhere below still leaves the black box on disk.
+		defer flight.RecoverDump()
+	}
+	mopts := msgnet.Options{
 		Buffer:  1,
+		Flight:  flight,
 		Metrics: reg,
 		EffWait: float64(cfg.delay.Nanoseconds()),
 		Faults:  plan,
-	})
+	}
+	if ring != nil {
+		mopts.Tracer = ring
+	}
+	n, err := msgnet.StartOpts(g, mopts)
 	if err != nil {
 		return err
 	}
 	defer n.Close()
+	traced := ring != nil || flight != nil
 	rec := lincheck.NewRecorder(cfg.ops)
 	base := time.Now()
 	errs := make(chan error, cfg.workers)
@@ -239,11 +262,25 @@ func runMsgnetStress(w io.Writer, cfg msgnetStressConfig) error {
 		if p < extra {
 			ops++
 		}
-		go func(p, ops int) {
+		// Worker p owns a contiguous token-id block, so traced identities
+		// are unique without coordination.
+		tokBase := p * per
+		if p < extra {
+			tokBase += p
+		} else {
+			tokBase += extra
+		}
+		go func(p, ops, tokBase int) {
 			input := p % g.InWidth()
 			for i := 0; i < ops; i++ {
 				start := time.Since(base)
-				v, err := n.Traverse(input)
+				var v int64
+				var err error
+				if traced {
+					v, err = n.TraverseObs(input, int32(p), int32(tokBase+i))
+				} else {
+					v, err = n.Traverse(input)
+				}
 				if err != nil {
 					errs <- err
 					return
@@ -251,7 +288,7 @@ func runMsgnetStress(w io.Writer, cfg msgnetStressConfig) error {
 				rec.Record(int64(start), int64(time.Since(base)), v)
 			}
 			errs <- nil
-		}(p, ops)
+		}(p, ops, tokBase)
 	}
 	for p := 0; p < cfg.workers; p++ {
 		if err := <-errs; err != nil {
@@ -278,6 +315,22 @@ func runMsgnetStress(w io.Writer, cfg msgnetStressConfig) error {
 		fmt.Fprintf(w, "faults: %d drops, %d dups, %d reorders, %d delays, %d partition-drops, %d crash-drops, %d stalls, %d forced\n",
 			st.Drops, st.Dups, st.Reorders, st.Delays, st.PartitionDrops, st.CrashDrops, st.Stalled, st.Forced)
 		fmt.Fprintf(w, "recovery: %d retries, %d duplicates suppressed\n", n.Retries(), n.Dedups())
+	}
+	if ring != nil {
+		if dropped := ring.Overwritten(); dropped > 0 {
+			fmt.Fprintf(w, "trace ring overwrote %d events (oldest dropped)\n", dropped)
+		}
+		if err := exportTrace(cfg.trace, meta, ring.Events()); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace written to %s\n", cfg.trace)
+	}
+	if flight != nil {
+		if reason := flight.Tripped(); reason != "" {
+			fmt.Fprintf(w, "flight recorder tripped (%s): dump at %s\n", reason, cfg.flight)
+		} else {
+			fmt.Fprintf(w, "flight recorder armed, never tripped (no dump written)\n")
+		}
 	}
 	if cfg.metrics != "" {
 		dest := w

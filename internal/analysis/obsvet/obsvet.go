@@ -15,7 +15,8 @@
 //     receiver's own `if m == nil { return }` guard covers every
 //     `m.<metric>` call after it);
 //   - the receiver roots in a value bound from a *obs.Registry method
-//     call (`cells := reg.Counter("x")`), which never returns nil;
+//     call (`cells := reg.Counter("x")`) or an obs.New* constructor
+//     (`clock := obs.NewClock()`), which never return nil;
 //   - a field in the receiver chain carries a field-declaration
 //     `//countnet:allow obsvet -- <reason>` stating the field is never
 //     nil by construction (the combine.Funnel pattern, where New
@@ -51,6 +52,10 @@ const ObsPath = "countnet/internal/obs"
 var checkedTypes = map[string]bool{
 	"Tracer": true, "Ring": true, "Counter": true, "Gauge": true,
 	"MinMax": true, "Histogram": true, "Ratio": true,
+	// The causal span layer: engines hold a nil *Clock when tracing is
+	// off and a nil *Flight when the black box is not armed, so span
+	// stamping and flight recording sit under the same zero-cost rule.
+	"Clock": true, "Flight": true,
 }
 
 func run(pass *analysis.Pass) error {
@@ -87,9 +92,10 @@ func run(pass *analysis.Pass) error {
 }
 
 // registrySourced collects the variables bound directly from a
-// *obs.Registry method call (m := reg.Counter("x")). The registry never
-// returns nil — it substitutes a live metric on first use — so calls
-// through such variables need no guard.
+// *obs.Registry method call (m := reg.Counter("x")) or an obs.New*
+// constructor (clock := obs.NewClock()). Neither ever returns nil — the
+// registry substitutes a live metric on first use, constructors allocate
+// — so calls through such variables need no guard.
 func registrySourced(pass *analysis.Pass) map[types.Object]bool {
 	out := map[types.Object]bool{}
 	mark := func(lhs ast.Expr, rhs ast.Expr) {
@@ -98,7 +104,7 @@ func registrySourced(pass *analysis.Pass) map[types.Object]bool {
 			return
 		}
 		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
-		if !ok || !isRegistryCall(pass, call) {
+		if !ok || !isNonNilSource(pass, call) {
 			return
 		}
 		if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
@@ -127,18 +133,27 @@ func registrySourced(pass *analysis.Pass) map[types.Object]bool {
 	return out
 }
 
-// isRegistryCall reports whether call is a method call on *obs.Registry.
-func isRegistryCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+// isNonNilSource reports whether call provably returns a non-nil obs
+// value: a method call on *obs.Registry, or an obs package-level New*
+// constructor (NewClock, NewFlight, NewRing, ...).
+func isNonNilSource(pass *analysis.Pass, call *ast.CallExpr) bool {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
-	return analysis.IsNamed(pass.TypesInfo.TypeOf(sel.X), ObsPath, "Registry")
+	if analysis.IsNamed(pass.TypesInfo.TypeOf(sel.X), ObsPath, "Registry") {
+		return true
+	}
+	fn, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == ObsPath && len(fn.Name()) > 3 && fn.Name()[:3] == "New"
 }
 
-// registrySafe reports whether the receiver chain roots in a
-// registry-sourced value: a variable bound from a Registry call, or a
-// direct chained call (reg.Counter("x").Inc()).
+// registrySafe reports whether the receiver chain roots in a value that
+// cannot be nil: a variable bound from a Registry call or obs.New*
+// constructor, or such a call chained directly (reg.Counter("x").Inc()).
 func registrySafe(pass *analysis.Pass, recv ast.Expr, fromReg map[types.Object]bool) bool {
 	for _, p := range analysis.ExprPrefixes(recv) {
 		switch x := p.(type) {
@@ -147,7 +162,7 @@ func registrySafe(pass *analysis.Pass, recv ast.Expr, fromReg map[types.Object]b
 				return true
 			}
 		case *ast.CallExpr:
-			if isRegistryCall(pass, x) {
+			if isNonNilSource(pass, x) {
 				return true
 			}
 		}

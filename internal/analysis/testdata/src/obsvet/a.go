@@ -81,3 +81,36 @@ func RegistrySourced(reg *obs.Registry) {
 	c.Inc()
 	reg.Histogram("wait").Observe(1)
 }
+
+// The causal span layer follows the same rule: a traced engine holds a
+// nil *Clock / *Flight when observability is off, so span stamping and
+// flight recording must be guarded too.
+type spanEngine struct {
+	clock  *obs.Clock
+	flight *obs.Flight
+}
+
+func (e *spanEngine) UnguardedSpans() {
+	e.clock.Tick()               // want `unguarded Tick call on \*obs\.Clock`
+	e.flight.Record(obs.Event{}) // want `unguarded Record call on \*obs\.Flight`
+}
+
+func (e *spanEngine) GuardedSpans(remote uint64) {
+	if e.clock != nil {
+		e.clock.Witness(remote)
+		_ = e.clock.Tick()
+	}
+	if e.flight != nil {
+		e.flight.Trip("liveness-valve")
+	}
+}
+
+// Constructor-sourced values are never nil: both the bound-variable and
+// the chained-call form need no guard.
+func ConstructorSourced(meta obs.Meta) {
+	clock := obs.NewClock()
+	_ = clock.Tick()
+	f := obs.NewFlight(meta, 1, 8)
+	f.Record(obs.Event{})
+	obs.NewRing(1, 8).Record(obs.Event{})
+}

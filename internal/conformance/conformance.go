@@ -288,7 +288,7 @@ func RunSHMCombined(spec workload.Spec) (*Execution, error) {
 // monotonic clock. The shared harness lives in runMsgnet (faults.go),
 // which RunMsgnetFaulty reuses under a derived chaos plan.
 func RunMsgnet(spec workload.Spec) (*Execution, error) {
-	return runMsgnet(spec, nil, "msgnet")
+	return runMsgnet(spec, nil, "msgnet", nil, nil)
 }
 
 // Runner executes a concrete schedule on a graph. The default is the

@@ -16,6 +16,7 @@ import (
 	"countnet/internal/faults"
 	"countnet/internal/lincheck"
 	"countnet/internal/msgnet"
+	"countnet/internal/obs"
 	"countnet/internal/workload"
 )
 
@@ -47,7 +48,7 @@ func RunMsgnetFaulty(spec workload.Spec) (*Execution, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runMsgnet(spec, plan, "msgnet-faults")
+	return runMsgnet(spec, plan, "msgnet-faults", nil, nil)
 }
 
 // RunMsgnetPlan executes the spec on the message-passing runtime under an
@@ -58,22 +59,35 @@ func RunMsgnetPlan(spec workload.Spec, plan *faults.Plan) (*Execution, error) {
 	if plan != nil && plan.Active() {
 		engine = "msgnet-faults"
 	}
-	return runMsgnet(spec, plan, engine)
+	return runMsgnet(spec, plan, engine, nil, nil)
+}
+
+// RunMsgnetPlanTraced is RunMsgnetPlan with observability: every hop is
+// recorded through tr with a unique per-operation token identity and a
+// causal span chain, and flight (when non-nil) rides along as the
+// auto-tripping black box. Either may be nil.
+func RunMsgnetPlanTraced(spec workload.Spec, plan *faults.Plan, tr obs.Tracer, flight *obs.Flight) (*Execution, error) {
+	engine := "msgnet"
+	if plan != nil && plan.Active() {
+		engine = "msgnet-faults"
+	}
+	return runMsgnet(spec, plan, engine, tr, flight)
 }
 
 // runMsgnet is the shared msgnet worker harness: spec.Procs goroutines
 // issue spec.Ops traversals in total, each timestamped with the monotonic
 // clock.
-func runMsgnet(spec workload.Spec, plan *faults.Plan, engine string) (*Execution, error) {
+func runMsgnet(spec workload.Spec, plan *faults.Plan, engine string, tr obs.Tracer, flight *obs.Flight) (*Execution, error) {
 	g, err := spec.Net.Build(spec.Width)
 	if err != nil {
 		return nil, err
 	}
-	n, err := msgnet.StartOpts(g, msgnet.Options{Buffer: 1, Faults: plan})
+	n, err := msgnet.StartOpts(g, msgnet.Options{Buffer: 1, Faults: plan, Tracer: tr, Flight: flight})
 	if err != nil {
 		return nil, err
 	}
 	defer n.Close()
+	traced := tr != nil || flight != nil
 	rec := lincheck.NewRecorder(spec.Ops)
 	base := time.Now()
 	errs := make(chan error, spec.Procs)
@@ -84,11 +98,25 @@ func runMsgnet(spec workload.Spec, plan *faults.Plan, engine string) (*Execution
 		if p < extra {
 			ops++
 		}
-		go func(p, ops int) {
+		// Token ids partition [0, spec.Ops): worker p owns a contiguous
+		// block, so traced identities are unique without coordination.
+		tokBase := p * per
+		if p < extra {
+			tokBase += p
+		} else {
+			tokBase += extra
+		}
+		go func(p, ops, tokBase int) {
 			input := p % g.InWidth()
 			for i := 0; i < ops; i++ {
 				start := time.Since(base)
-				v, err := n.Traverse(input)
+				var v int64
+				var err error
+				if traced {
+					v, err = n.TraverseObs(input, int32(p), int32(tokBase+i))
+				} else {
+					v, err = n.Traverse(input)
+				}
 				if err != nil {
 					errs <- err
 					return
@@ -96,7 +124,7 @@ func runMsgnet(spec workload.Spec, plan *faults.Plan, engine string) (*Execution
 				rec.Record(int64(start), int64(time.Since(base)), v)
 			}
 			errs <- nil
-		}(p, ops)
+		}(p, ops, tokBase)
 	}
 	for p := 0; p < spec.Procs; p++ {
 		if err := <-errs; err != nil {
@@ -139,7 +167,7 @@ func (f *ChaosFailure) Error() string {
 // chaosRound runs one plan against one spec and checks the universal
 // invariants plus operation-count completeness.
 func chaosRound(spec workload.Spec, plan *faults.Plan) error {
-	exec, err := runMsgnet(spec, plan, "msgnet-faults")
+	exec, err := runMsgnet(spec, plan, "msgnet-faults", nil, nil)
 	if err != nil {
 		return err
 	}

@@ -97,7 +97,7 @@ func FuzzFaultPlan(f *testing.F) {
 		}
 		done := make(chan outcome, 1)
 		go func() {
-			exec, err := runMsgnet(spec, plan, "msgnet-faults")
+			exec, err := runMsgnet(spec, plan, "msgnet-faults", nil, nil)
 			done <- outcome{exec, err}
 		}()
 		select {

@@ -21,6 +21,11 @@ type WitnessTrace struct {
 	From, To int64 // the window [From, To] in schedule time units
 	Events   []obs.Event
 	Meta     obs.Meta
+
+	// all is the full stamped transition trace the window was cut from;
+	// DumpFlight preserves it whole so causal chains reaching outside the
+	// witness window survive in the black-box artifact.
+	all []obs.Event
 }
 
 // TraceWitness reruns the concrete schedule with tracing on the timed
@@ -42,14 +47,24 @@ func TraceWitness(g *topo.Graph, c *schedule.Concrete) (wt *WitnessTrace, ok boo
 	if w.Preceding.End > to {
 		to = w.Preceding.End
 	}
+	// Stamp causal spans while converting: the executor replays
+	// transitions in time order, so a running counter plus each token's
+	// previous span reconstructs the per-token chains the engines record
+	// natively.
 	events := make([]obs.Event, 0, len(res.Events))
+	var seq uint64
+	last := make(map[int32]uint64)
 	for _, ev := range res.Events {
 		kind, val := obs.KindBalancer, int64(-1)
 		if g.KindOf(ev.Node) == topo.KindCounter {
 			kind, val = obs.KindCounter, ev.Value
 		}
+		tok := int32(ev.Tok)
+		seq++
 		events = append(events, obs.Event{T: ev.Time, Kind: kind,
-			P: int32(ev.Tok), Tok: int32(ev.Tok), Node: int32(ev.Node), Value: val})
+			P: tok, Tok: tok, Node: int32(ev.Node), Value: val,
+			Span: seq, Parent: last[tok]})
+		last[tok] = seq
 	}
 	return &WitnessTrace{
 		Witness: w,
@@ -57,7 +72,25 @@ func TraceWitness(g *topo.Graph, c *schedule.Concrete) (wt *WitnessTrace, ok boo
 		To:      to,
 		Events:  obs.Window(events, from, to),
 		Meta:    obs.Meta{Engine: "schedule", Unit: "cycles", Net: c.Net, Width: c.Width},
+		all:     events,
 	}, true, nil
+}
+
+// DumpFlight writes the violation's black box: the full stamped
+// transition trace pushed through a flight recorder and tripped with
+// reason "lincheck-violation", so a shrunken fuzz failure leaves the same
+// artifact a chaos run's liveness valve would. Returns the path written.
+func (wt *WitnessTrace) DumpFlight(path string) (string, error) {
+	n := len(wt.all)
+	if n == 0 {
+		n = 1
+	}
+	f := obs.NewFlight(wt.Meta, 1, n)
+	for _, ev := range wt.all {
+		f.Record(ev)
+	}
+	f.SetAutoDump(path)
+	return f.Trip("lincheck-violation")
 }
 
 // WriteChrome writes the windowed slice in Chrome trace_event format.

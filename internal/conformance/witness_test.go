@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 
 	"countnet/internal/bitonic"
@@ -123,5 +124,78 @@ func TestTraceWitnessCleanSchedule(t *testing.T) {
 		t.Fatal(err)
 	} else if ok {
 		t.Fatal("c2 <= 2*c1 schedule reported a witness")
+	}
+}
+
+// TestWitnessFlightDump is the acceptance check for the violation black
+// box: a lincheck violation yields a flight dump whose causal (span)
+// order agrees with the witness pair — the preceding operation's counter
+// event happens-before the violated one's — and whose trace is causally
+// closed with per-token chains intact.
+func TestWitnessFlightDump(t *testing.T) {
+	c := violatingSchedule(t)
+	g, err := bitonic.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, ok, err := TraceWitness(g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("violating schedule produced no witness")
+	}
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	got, err := wt.DumpFlight(path)
+	if err != nil || got != path {
+		t.Fatalf("DumpFlight = (%q, %v)", got, err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	meta, events, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Reason != "lincheck-violation" {
+		t.Fatalf("dump reason = %q", meta.Reason)
+	}
+	if closed, orphans := obs.CausalClosure(events); orphans != 0 || len(closed) != len(events) {
+		t.Fatalf("flight dump not causally closed: %d orphans", orphans)
+	}
+	// Per-token chains: walking in span order, each event's parent is the
+	// token's previous span.
+	lastSpan := map[int32]uint64{}
+	sort.Slice(events, func(i, j int) bool { return events[i].Span < events[j].Span })
+	var precedingSpan, violatedSpan uint64
+	w := wt.Witness
+	for _, ev := range events {
+		if ev.Span == 0 {
+			t.Fatalf("unstamped event in flight dump: %+v", ev)
+		}
+		if ev.Parent != lastSpan[ev.Tok] {
+			t.Fatalf("token %d chain broken at %+v (want parent %d)", ev.Tok, ev, lastSpan[ev.Tok])
+		}
+		lastSpan[ev.Tok] = ev.Span
+		if ev.Kind == obs.KindCounter {
+			switch ev.Value {
+			case w.Preceding.Value:
+				precedingSpan = ev.Span
+			case w.Violated.Value:
+				violatedSpan = ev.Span
+			}
+		}
+	}
+	if precedingSpan == 0 || violatedSpan == 0 {
+		t.Fatalf("witness pair counter events missing from dump (preceding=%d violated=%d)",
+			precedingSpan, violatedSpan)
+	}
+	// The preceding op finished before the violated one started, so its
+	// count happens-before the violated count: span order must agree.
+	if precedingSpan >= violatedSpan {
+		t.Fatalf("dump causal order contradicts witness pair: preceding span %d >= violated span %d",
+			precedingSpan, violatedSpan)
 	}
 }

@@ -16,6 +16,10 @@ type Verdict struct {
 	// DelayNs is extra latency to impose before delivery (rule delay,
 	// jitter, and any stall pause, summed).
 	DelayNs int64
+	// Forced means a loss verdict was overridden because the sender
+	// exhausted MaxAttempts — the liveness valve fired. The delivery goes
+	// through; observers treat it as a black-box moment worth dumping.
+	Forced bool
 }
 
 // Stats is a snapshot of the injector's fault tallies.
@@ -116,6 +120,7 @@ func (in *Injector) Next(link, attempt int) Verdict {
 		if lc >= part.From && lc < part.To {
 			if exhausted {
 				in.forced.Add(1)
+				v.Forced = true
 				break
 			}
 			in.partDrops.Add(1)
@@ -128,6 +133,7 @@ func (in *Injector) Next(link, attempt int) Verdict {
 			if s.Crash {
 				if exhausted {
 					in.forced.Add(1)
+					v.Forced = true
 					continue
 				}
 				in.crashDrops.Add(1)
@@ -142,6 +148,7 @@ func (in *Injector) Next(link, attempt int) Verdict {
 	if r.Drop > 0 && in.uniform(link, lc, streamDrop) < r.Drop {
 		if exhausted {
 			in.forced.Add(1)
+			v.Forced = true
 		} else {
 			in.drops.Add(1)
 			v.Drop = true
@@ -171,6 +178,16 @@ func (in *Injector) Next(link, attempt int) Verdict {
 
 // Links returns the number of links the injector serves.
 func (in *Injector) Links() int { return len(in.dests) }
+
+// Dest returns the destination node of link, or -1 if link is out of
+// range. Tracers use it to label retry events with the hop they stalled
+// on.
+func (in *Injector) Dest(link int) int {
+	if link < 0 || link >= len(in.dests) {
+		return -1
+	}
+	return in.dests[link]
+}
 
 // Plan returns the plan the injector executes.
 func (in *Injector) Plan() *Plan { return in.plan }

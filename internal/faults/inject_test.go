@@ -58,13 +58,40 @@ func TestMaxAttemptsForcesDelivery(t *testing.T) {
 		Stalls:     []Stall{{Node: 0, From: 0, To: MaxWindow, Crash: true}},
 	}
 	in := NewInjector(plan, []int{0})
+	forced := 0
 	for k := 0; k < 50; k++ {
-		if v := in.Next(0, MaxAttempts); v.Drop {
+		v := in.Next(0, MaxAttempts)
+		if v.Drop {
 			t.Fatalf("attempt %d at MaxAttempts still dropped", k)
+		}
+		if v.Forced {
+			forced++
 		}
 	}
 	if in.Stats().Forced == 0 {
 		t.Error("forced deliveries not tallied")
+	}
+	// Every overridden loss here fires the valve; the verdict must say so,
+	// because engines trip the flight recorder on it.
+	if forced != 50 {
+		t.Errorf("Forced set on %d of 50 valve verdicts, want all", forced)
+	}
+	if v := in.Next(0, 0); v.Forced && !v.Drop {
+		t.Error("Forced set on a verdict the valve did not override")
+	}
+}
+
+// TestInjectorDest pins the link→destination accessor tracers label retry
+// events with.
+func TestInjectorDest(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 1}, []int{3, 0, 7})
+	for l, want := range []int{3, 0, 7} {
+		if got := in.Dest(l); got != want {
+			t.Errorf("Dest(%d) = %d, want %d", l, got, want)
+		}
+	}
+	if in.Dest(-1) != -1 || in.Dest(3) != -1 {
+		t.Error("out-of-range Dest should be -1")
 	}
 }
 

@@ -84,6 +84,14 @@ func (n *Network) forward(link int, dest chan token, t token) bool {
 	}
 	for attempt := 0; ; attempt++ {
 		v := n.inj.Next(link, attempt)
+		if v.Forced {
+			// The liveness valve overrode a loss: the network is degraded
+			// enough that a plan exhausted MaxAttempts, which is exactly
+			// the moment a black box should preserve.
+			if f := n.flight; f != nil {
+				f.Trip("liveness-valve")
+			}
+		}
 		if v.Drop {
 			// Lost on the wire: back off and retransmit. The injector
 			// guarantees at most faults.MaxAttempts consecutive drops.
@@ -93,6 +101,17 @@ func (n *Network) forward(link int, dest chan token, t token) bool {
 				o.retry.Observe(int64(d))
 			}
 			backoff.Pause(d)
+			if o := n.obs; o != nil && o.tr != nil {
+				// The retry is a causal hop of its own: Dur is the backoff
+				// pause, Node the destination the token is stuck short of,
+				// Value the link id. Chaining t.span through it makes storms
+				// legible as span runs in the dump.
+				sp := o.spans.Tick()
+				o.tr.Record(obs.Event{T: o.clock(), Dur: int64(d), Kind: obs.KindRetry,
+					P: t.proc, Tok: t.tok, Node: int32(n.inj.Dest(link)), Value: int64(link),
+					Span: sp, Parent: t.span})
+				t.span = sp
+			}
 			select {
 			case <-n.stop:
 				return false

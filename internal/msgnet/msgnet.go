@@ -19,7 +19,7 @@ import (
 
 // token is one counting request in flight.
 type token struct {
-	reply chan int64
+	reply chan reply
 	// id is the token's network-unique identity, used by receivers to
 	// deduplicate faulty deliveries; 0 on fault-free networks (no dedup).
 	id uint64
@@ -27,6 +27,16 @@ type token struct {
 	// proc/tok are -1 for untraced traversals.
 	proc, tok int32
 	enq       int64
+	// span is the id of the token's most recent causal event — the parent
+	// of whatever the token does next. 0 when tracing is off.
+	span uint64
+}
+
+// reply is a counter's answer: the value plus the span id of the counting
+// event, so the requester's exit event can chain onto it causally.
+type reply struct {
+	v    int64
+	span uint64
 }
 
 // Options configures Start.
@@ -49,12 +59,18 @@ type Options struct {
 	// crash windows. The plan is validated; a plan with no faults at all
 	// leaves the engine on its zero-overhead path.
 	Faults *faults.Plan
+	// Flight, when non-nil, receives every event the tracer would (teed
+	// with Tracer if both are set) and is tripped automatically when the
+	// fault plan's liveness valve forces a delivery through — arm it with
+	// SetAutoDump to get a black-box dump of the moments before.
+	Flight *obs.Flight
 }
 
 // netObs is the observability state of a running network.
 type netObs struct {
 	tr    obs.Tracer
 	clock func() int64
+	spans *obs.Clock // causal span ids; non-nil exactly when tr is
 	tog   *obs.Histogram
 	ratio *obs.Ratio
 	retry *obs.Histogram // backoff waits of fault retransmissions
@@ -68,7 +84,8 @@ type Network struct {
 	stop   chan struct{}
 	done   sync.WaitGroup
 	closed sync.Once
-	obs    *netObs // nil when neither tracer nor metrics configured
+	obs    *netObs     // nil when neither tracer nor metrics configured
+	flight *obs.Flight // nil unless Options.Flight was set
 
 	// Fault-injection state; inj is nil on fault-free networks and the
 	// rest is untouched.
@@ -107,9 +124,19 @@ func StartOpts(g *topo.Graph, opts Options) (*Network, error) {
 		n.linkBase, dests = linkTables(g)
 		n.inj = faults.NewInjector(p, dests)
 	}
-	if opts.Tracer != nil || opts.Metrics != nil {
+	if opts.Tracer != nil || opts.Metrics != nil || opts.Flight != nil {
 		base := time.Now()
-		o := &netObs{tr: opts.Tracer, clock: func() int64 { return int64(time.Since(base)) }}
+		// The assignment through a local interface keeps a nil *Flight from
+		// becoming a non-nil Tracer inside Tee.
+		var ft obs.Tracer
+		if opts.Flight != nil {
+			ft = opts.Flight
+			n.flight = opts.Flight
+		}
+		o := &netObs{tr: obs.Tee(opts.Tracer, ft), clock: func() int64 { return int64(time.Since(base)) }}
+		if o.tr != nil {
+			o.spans = obs.NewClock()
+		}
 		if opts.Metrics != nil {
 			o.tog = opts.Metrics.Histogram("msgnet_hop_wait_ns")
 			o.ratio = opts.Metrics.Ratio("msgnet_avg_c2c1", opts.EffWait)
@@ -163,6 +190,7 @@ func (n *Network) balancer(id topo.NodeID) {
 				// most once: a repeated id here is a faulty duplicate.
 				if _, dup := seen[t.id]; dup {
 					n.dedups.Add(1)
+					n.recordDedup(id, t)
 					continue
 				}
 				seen[t.id] = struct{}{}
@@ -175,8 +203,12 @@ func (n *Network) balancer(id topo.NodeID) {
 					o.ratio.Observe(wait)
 				}
 				if o.tr != nil {
+					o.spans.Witness(t.span)
+					sp := o.spans.Tick()
 					o.tr.Record(obs.Event{T: now, Dur: wait, Kind: obs.KindBalancer,
-						P: t.proc, Tok: t.tok, Node: int32(id), Value: -1})
+						P: t.proc, Tok: t.tok, Node: int32(id), Value: -1,
+						Span: sp, Parent: t.span})
+					t.span = sp
 				}
 				t.enq = o.clock()
 			}
@@ -220,22 +252,42 @@ func (n *Network) counter(id topo.NodeID) {
 				// token's capacity-1 reply channel.
 				if _, dup := seen[t.id]; dup {
 					n.dedups.Add(1)
+					n.recordDedup(id, t)
 					continue
 				}
 				seen[t.id] = struct{}{}
 			}
 			v := idx + w*count
 			count++
+			sp := t.span
 			if o != nil && o.tr != nil {
 				now := o.clock()
+				o.spans.Witness(t.span)
+				sp = o.spans.Tick()
 				o.tr.Record(obs.Event{T: now, Dur: now - t.enq, Kind: obs.KindCounter,
-					P: t.proc, Tok: t.tok, Node: int32(id), Value: v})
+					P: t.proc, Tok: t.tok, Node: int32(id), Value: v,
+					Span: sp, Parent: t.span})
 			}
-			t.reply <- v
+			t.reply <- reply{v: v, span: sp}
 		case <-n.stop:
 			return
 		}
 	}
+}
+
+// recordDedup traces a suppressed duplicate arrival at node id: the
+// conflict is part of the token's causal story (a dedup racing the
+// original is how a faulty network shows up in a witness trace), so it
+// gets its own span parented on the duplicate's last hop.
+func (n *Network) recordDedup(id topo.NodeID, t token) {
+	o := n.obs
+	if o == nil || o.tr == nil {
+		return
+	}
+	o.spans.Witness(t.span)
+	o.tr.Record(obs.Event{T: o.clock(), Kind: obs.KindDedup,
+		P: t.proc, Tok: t.tok, Node: int32(id), Value: -1,
+		Span: o.spans.Tick(), Parent: t.span})
 }
 
 // Traverse sends one token into network input `input` and returns its
@@ -251,7 +303,7 @@ func (n *Network) TraverseObs(input int, proc, tok int32) (int64, error) {
 	if input < 0 || input >= n.g.InWidth() {
 		return 0, fmt.Errorf("msgnet: input %d out of range [0,%d)", input, n.g.InWidth())
 	}
-	t := token{reply: make(chan int64, 1), proc: proc, tok: tok}
+	t := token{reply: make(chan reply, 1), proc: proc, tok: tok}
 	if n.inj != nil {
 		t.id = n.nextID.Add(1)
 	}
@@ -261,8 +313,10 @@ func (n *Network) TraverseObs(input int, proc, tok int32) (int64, error) {
 		start = o.clock()
 		t.enq = start
 		if o.tr != nil && tok >= 0 {
+			sp := o.spans.Tick()
 			o.tr.Record(obs.Event{T: start, Kind: obs.KindEnter,
-				P: proc, Tok: tok, Node: -1, Value: -1})
+				P: proc, Tok: tok, Node: -1, Value: -1, Span: sp})
+			t.span = sp
 		}
 	}
 	// Input i rides link i; the entry hop is fault-injectable like any
@@ -271,13 +325,15 @@ func (n *Network) TraverseObs(input int, proc, tok int32) (int64, error) {
 		return 0, fmt.Errorf("msgnet: network closed")
 	}
 	select {
-	case v := <-t.reply:
+	case r := <-t.reply:
 		if o != nil && o.tr != nil && tok >= 0 {
 			now := o.clock()
+			o.spans.Witness(r.span)
 			o.tr.Record(obs.Event{T: now, Dur: now - start, Kind: obs.KindExit,
-				P: proc, Tok: tok, Node: -1, Value: v})
+				P: proc, Tok: tok, Node: -1, Value: r.v,
+				Span: o.spans.Tick(), Parent: r.span})
 		}
-		return v, nil
+		return r.v, nil
 	case <-n.stop:
 		return 0, fmt.Errorf("msgnet: network closed")
 	}

@@ -1,11 +1,14 @@
 package msgnet
 
 import (
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"testing"
 
 	"countnet/internal/bitonic"
+	"countnet/internal/faults"
 	"countnet/internal/obs"
 )
 
@@ -103,5 +106,205 @@ func TestUntracedUnaffected(t *testing.T) {
 		if _, err := n.Traverse(i % g.InWidth()); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestCausalSpansFaultFree runs traced traversals and checks the span
+// graph: every event carries a unique span id, every token's journey is a
+// single parent chain enter → balancers → counter → exit with span ids
+// strictly increasing along it, and the trace is causally closed.
+func TestCausalSpansFaultFree(t *testing.T) {
+	g, err := bitonic.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := obs.NewRing(4, 1<<13)
+	n, err := StartOpts(g, Options{Buffer: 1, Tracer: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	const workers, per = 4, 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := n.TraverseObs(w%g.InWidth(), int32(w), int32(w*per+i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	events := ring.Events()
+	if closed, orphans := obs.CausalClosure(events); orphans != 0 || len(closed) != len(events) {
+		t.Fatalf("fault-free trace not causally closed: %d orphans", orphans)
+	}
+	spans := map[uint64]obs.Event{}
+	for _, ev := range events {
+		if ev.Span == 0 {
+			t.Fatalf("unstamped event in traced run: %+v", ev)
+		}
+		if prev, dup := spans[ev.Span]; dup {
+			t.Fatalf("span id %d reused: %+v and %+v", ev.Span, prev, ev)
+		}
+		spans[ev.Span] = ev
+	}
+	// Group per token and walk each chain.
+	byTok := map[int32][]obs.Event{}
+	for _, ev := range events {
+		byTok[ev.Tok] = append(byTok[ev.Tok], ev)
+	}
+	depth := g.Depth()
+	for tok, chain := range byTok {
+		sort.Slice(chain, func(i, j int) bool { return chain[i].Span < chain[j].Span })
+		if len(chain) != depth+3 {
+			t.Fatalf("token %d has %d events, want enter+%d balancers+counter+exit", tok, len(chain), depth)
+		}
+		if chain[0].Kind != obs.KindEnter || chain[0].Parent != 0 {
+			t.Fatalf("token %d chain does not start at a root enter: %+v", tok, chain[0])
+		}
+		for i := 1; i < len(chain); i++ {
+			if chain[i].Parent != chain[i-1].Span {
+				t.Fatalf("token %d causal chain broken at %d: %+v after %+v", tok, i, chain[i], chain[i-1])
+			}
+		}
+		if chain[len(chain)-1].Kind != obs.KindExit || chain[len(chain)-2].Kind != obs.KindCounter {
+			t.Fatalf("token %d chain does not end counter → exit: %+v", tok, chain)
+		}
+	}
+}
+
+// TestCausalSpansUnderFaults checks the faulty paths stay on the causal
+// graph: retries and dedups appear as stamped events chained into their
+// token's journey, and the full trace still closes.
+func TestCausalSpansUnderFaults(t *testing.T) {
+	g, err := bitonic.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := obs.NewRing(4, 1<<15)
+	plan := &faults.Plan{Seed: 11, Default: faults.Rule{Drop: 0.3, Dup: 0.3}}
+	n, err := StartOpts(g, Options{Buffer: 1, Tracer: ring, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	const workers, per = 4, 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := n.TraverseObs(w%g.InWidth(), int32(w), int32(w*per+i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n.Retries() == 0 || n.Dedups() == 0 {
+		t.Skipf("plan injected no retries/dedups (retries=%d dedups=%d)", n.Retries(), n.Dedups())
+	}
+
+	events := ring.Events()
+	if _, orphans := obs.CausalClosure(events); orphans != 0 {
+		t.Fatalf("faulty trace not causally closed: %d orphans", orphans)
+	}
+	spans := map[uint64]obs.Event{}
+	kinds := map[obs.Kind]int{}
+	for _, ev := range events {
+		if ev.Span == 0 {
+			t.Fatalf("unstamped event in traced faulty run: %+v", ev)
+		}
+		spans[ev.Span] = ev
+		kinds[ev.Kind]++
+	}
+	if kinds[obs.KindRetry] == 0 || kinds[obs.KindDedup] == 0 {
+		t.Fatalf("faulty events not traced: %v (engine counted retries=%d dedups=%d)",
+			kinds, n.Retries(), n.Dedups())
+	}
+	for _, ev := range events {
+		if ev.Parent == 0 {
+			if ev.Kind != obs.KindEnter {
+				t.Fatalf("non-enter root event: %+v", ev)
+			}
+			continue
+		}
+		parent, ok := spans[ev.Parent]
+		if !ok {
+			t.Fatalf("event references missing parent: %+v", ev)
+		}
+		if parent.Span >= ev.Span {
+			t.Fatalf("span ids not increasing along causal edge: %+v -> %+v", parent, ev)
+		}
+		if parent.Tok != ev.Tok {
+			t.Fatalf("causal edge crosses tokens: %+v -> %+v", parent, ev)
+		}
+		if ev.Kind == obs.KindRetry && ev.Dur <= 0 {
+			t.Fatalf("retry event without backoff duration: %+v", ev)
+		}
+	}
+}
+
+// TestFlightValveTrip runs a plan whose partition window is long enough
+// to exhaust MaxAttempts and checks the teed flight recorder trips with
+// reason "liveness-valve" and leaves a causally closed dump.
+func TestFlightValveTrip(t *testing.T) {
+	g, err := bitonic.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flight := obs.NewFlight(obs.Meta{Engine: "msgnet", Unit: "ns", Net: "bitonic", Width: 2}, 2, 256)
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	flight.SetAutoDump(path)
+	// Every delivery on link 0 inside a huge window is dropped; the sender
+	// must exhaust MaxAttempts and get forced through.
+	plan := &faults.Plan{Seed: 3,
+		Partitions: []faults.Partition{{Links: []int{0}, From: 0, To: faults.MaxWindow}}}
+	n, err := StartOpts(g, Options{Buffer: 1, Faults: plan, Flight: flight})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := n.TraverseObs(0, 0, int32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if flight.Tripped() != "liveness-valve" {
+		t.Fatalf("flight not tripped by valve: %q", flight.Tripped())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	meta, events, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Reason != "liveness-valve" {
+		t.Fatalf("dump reason = %q", meta.Reason)
+	}
+	if len(events) == 0 {
+		t.Fatal("valve dump is empty")
+	}
+	retries := 0
+	for _, ev := range events {
+		if ev.Kind == obs.KindRetry {
+			retries++
+		}
+	}
+	if retries < faults.MaxAttempts {
+		t.Fatalf("dump shows %d retries before the valve, want >= %d", retries, faults.MaxAttempts)
 	}
 }

@@ -9,28 +9,32 @@ import (
 )
 
 // Meta describes the run a trace came from: which engine produced it, the
-// timestamp unit ("cycles" or "ns"), and the workload identity.
+// timestamp unit ("cycles" or "ns"), the workload identity, and — on
+// flight-recorder dumps — the reason the recorder fired.
 type Meta struct {
 	Engine string `json:"engine"`
 	Unit   string `json:"unit"`
 	Net    string `json:"net,omitempty"`
 	Width  int    `json:"width,omitempty"`
+	Reason string `json:"reason,omitempty"`
 }
 
 // jsonlEvent is the JSONL wire form of one event.
 type jsonlEvent struct {
-	T     int64  `json:"t"`
-	Dur   int64  `json:"dur,omitempty"`
-	Kind  string `json:"kind"`
-	P     int32  `json:"p"`
-	Tok   int32  `json:"tok"`
-	Node  int32  `json:"node"`
-	Value *int64 `json:"value,omitempty"`
+	T      int64  `json:"t"`
+	Dur    int64  `json:"dur,omitempty"`
+	Kind   string `json:"kind"`
+	P      int32  `json:"p"`
+	Tok    int32  `json:"tok"`
+	Node   int32  `json:"node"`
+	Value  *int64 `json:"value,omitempty"`
+	Span   uint64 `json:"span,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
 }
 
 // kindFromString inverts Kind.String.
 func kindFromString(s string) (Kind, error) {
-	for k := KindEnter; k <= KindExit; k++ {
+	for k := KindEnter; k <= kindMax; k++ {
 		if k.String() == s {
 			return k, nil
 		}
@@ -49,7 +53,8 @@ func WriteJSONL(w io.Writer, meta Meta, events []Event) error {
 		return err
 	}
 	for _, ev := range events {
-		rec := jsonlEvent{T: ev.T, Dur: ev.Dur, Kind: ev.Kind.String(), P: ev.P, Tok: ev.Tok, Node: ev.Node}
+		rec := jsonlEvent{T: ev.T, Dur: ev.Dur, Kind: ev.Kind.String(), P: ev.P, Tok: ev.Tok, Node: ev.Node,
+			Span: ev.Span, Parent: ev.Parent}
 		if ev.Value >= 0 {
 			v := ev.Value
 			rec.Value = &v
@@ -85,7 +90,8 @@ func ReadJSONL(r io.Reader) (Meta, []Event, error) {
 		if err != nil {
 			return Meta{}, nil, fmt.Errorf("obs: trace line %d: %w", len(out)+2, err)
 		}
-		ev := Event{T: rec.T, Dur: rec.Dur, Kind: k, P: rec.P, Tok: rec.Tok, Node: rec.Node, Value: -1}
+		ev := Event{T: rec.T, Dur: rec.Dur, Kind: k, P: rec.P, Tok: rec.Tok, Node: rec.Node, Value: -1,
+			Span: rec.Span, Parent: rec.Parent}
 		if rec.Value != nil {
 			ev.Value = *rec.Value
 		}
@@ -100,13 +106,16 @@ func ReadJSONL(r io.Reader) (Meta, []Event, error) {
 // timestamp rides along losslessly in args.t (and args.dur).
 type chromeEvent struct {
 	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
 	Phase string         `json:"ph"`
 	TS    float64        `json:"ts"`
 	Dur   *float64       `json:"dur,omitempty"`
 	PID   int            `json:"pid"`
 	TID   int32          `json:"tid"`
+	ID    uint64         `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
 	Scope string         `json:"s,omitempty"`
-	Args  map[string]any `json:"args"`
+	Args  map[string]any `json:"args,omitempty"`
 }
 
 // chromeScale converts a native timestamp to trace_event microseconds:
@@ -122,7 +131,10 @@ func chromeScale(unit string) float64 {
 // WriteChromeTrace emits the trace in Chrome trace_event format (a JSON
 // object with a traceEvents array), which Perfetto and chrome://tracing
 // open directly. One track (tid) per processor; spanned events become
-// complete events whose slice covers [T-Dur, T].
+// complete events whose slice covers [T-Dur, T]. Causal edges (Parent
+// span ids whose parent event is in the trace) are additionally emitted
+// as flow events (ph "s"/"f"), so Perfetto draws arrows between the hops
+// of a token's journey across tracks and nodes.
 func WriteChromeTrace(w io.Writer, meta Meta, events []Event) error {
 	bw := bufio.NewWriter(w)
 	scale := chromeScale(meta.Unit)
@@ -133,7 +145,21 @@ func WriteChromeTrace(w io.Writer, meta Meta, events []Event) error {
 	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"otherData\":%s,\"traceEvents\":[\n", metaJSON)
 	enc := json.NewEncoder(bw)
 	enc.SetEscapeHTML(false)
-	for i, ev := range events {
+	first := true
+	emit := func(ce chromeEvent) error {
+		if !first {
+			fmt.Fprint(bw, ",")
+		}
+		first = false
+		return enc.Encode(ce)
+	}
+	bySpan := make(map[uint64]Event)
+	for _, ev := range events {
+		if ev.Span != 0 {
+			bySpan[ev.Span] = ev
+		}
+	}
+	for _, ev := range events {
 		ce := chromeEvent{
 			Name:  ev.Kind.String(),
 			Phase: "i",
@@ -150,6 +176,12 @@ func WriteChromeTrace(w io.Writer, meta Meta, events []Event) error {
 		if ev.Value >= 0 {
 			ce.Args["value"] = ev.Value
 		}
+		if ev.Span != 0 {
+			ce.Args["span"] = ev.Span
+			if ev.Parent != 0 {
+				ce.Args["parent"] = ev.Parent
+			}
+		}
 		if ev.Dur > 0 {
 			ce.Phase = "X"
 			ce.Scope = ""
@@ -158,10 +190,40 @@ func WriteChromeTrace(w io.Writer, meta Meta, events []Event) error {
 			ce.Dur = &d
 			ce.Args["dur"] = ev.Dur
 		}
-		if i > 0 {
-			fmt.Fprint(bw, ",")
+		if err := emit(ce); err != nil {
+			return err
 		}
-		if err := enc.Encode(ce); err != nil {
+	}
+	// Flow section: one s/f pair per causal edge whose parent is present.
+	// The start binds to the parent's slice at its end timestamp, the
+	// finish ("bp":"e") to the enclosing child slice at its start, which
+	// is what makes Perfetto draw the arrow parent -> child. The child's
+	// span id keys the pair (edges are 1:1 with child events, so ids
+	// never collide).
+	for _, ev := range events {
+		if ev.Span == 0 || ev.Parent == 0 {
+			continue
+		}
+		parent, ok := bySpan[ev.Parent]
+		if !ok {
+			continue
+		}
+		childStart := ev.T
+		if ev.Dur > 0 {
+			childStart = ev.T - ev.Dur
+		}
+		if err := emit(chromeEvent{
+			Name: "causal", Cat: "causal", Phase: "s", ID: ev.Span,
+			TS: float64(parent.T) * scale, PID: 1, TID: parent.P,
+			Args: map[string]any{"span": ev.Parent},
+		}); err != nil {
+			return err
+		}
+		if err := emit(chromeEvent{
+			Name: "causal", Cat: "causal", Phase: "f", BP: "e", ID: ev.Span,
+			TS: float64(childStart) * scale, PID: 1, TID: ev.P,
+			Args: map[string]any{"span": ev.Span},
+		}); err != nil {
 			return err
 		}
 	}

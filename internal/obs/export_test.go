@@ -149,3 +149,95 @@ func TestExportFilePicksFormat(t *testing.T) {
 		t.Fatal("chrome trace missing traceEvents")
 	}
 }
+
+// TestJSONLSpanRoundTrip pins the causal fields on the wire: span/parent
+// survive a JSONL round trip and stay absent (omitempty) on uncausal
+// events, so traces from unstamped runs are byte-identical to before.
+func TestJSONLSpanRoundTrip(t *testing.T) {
+	meta := Meta{Engine: "msgnet", Unit: "ns", Reason: "liveness-valve"}
+	events := []Event{
+		{T: 1, Kind: KindEnter, P: 0, Tok: 0, Node: -1, Value: -1, Span: 7},
+		{T: 2, Dur: 1, Kind: KindRetry, P: 0, Tok: 0, Node: 3, Value: 1, Span: 9, Parent: 7},
+		{T: 3, Kind: KindDedup, P: 1, Tok: 0, Node: 1, Value: -1, Span: 12, Parent: 9},
+		{T: 4, Kind: KindExit, P: 0, Tok: 0, Node: -1, Value: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, meta, events); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"kind":"exit","p":0,"tok":0,"node":-1,"value":0,"span"`) ||
+		strings.Count(buf.String(), `"span"`) != 3 {
+		t.Fatalf("span fields not omitted on uncausal events:\n%s", buf.String())
+	}
+	gotMeta, got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Fatalf("meta round-trip: got %+v, want %+v", gotMeta, meta)
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d round-trip: got %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+// TestChromeTraceFlowEvents checks causal edges become flow-event pairs:
+// ph "s" anchored on the parent's track and timestamp, ph "f" with
+// bp "e" on the child's, keyed by the child's span id. Edges whose
+// parent is missing from the trace emit nothing.
+func TestChromeTraceFlowEvents(t *testing.T) {
+	meta := Meta{Engine: "msgnet", Unit: "ns"}
+	events := []Event{
+		{T: 100, Kind: KindBalancer, P: 0, Tok: 0, Node: 0, Value: -1, Span: 5},
+		{T: 300, Dur: 50, Kind: KindCounter, P: 2, Tok: 0, Node: 4, Value: 1, Span: 8, Parent: 5},
+		{T: 400, Kind: KindDedup, P: 1, Tok: 0, Node: 4, Value: -1, Span: 9, Parent: 99}, // parent absent
+	}
+	var chrome bytes.Buffer
+	if err := WriteChromeTrace(&chrome, meta, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Cat   string  `json:"cat"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			TID   int32   `json:"tid"`
+			ID    uint64  `json:"id"`
+			BP    string  `json:"bp"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var starts, finishes []int
+	for i, ce := range doc.TraceEvents {
+		switch ce.Phase {
+		case "s":
+			starts = append(starts, i)
+		case "f":
+			finishes = append(finishes, i)
+		}
+	}
+	if len(starts) != 1 || len(finishes) != 1 {
+		t.Fatalf("got %d flow starts, %d finishes; want 1 each (orphan edge must emit none)", len(starts), len(finishes))
+	}
+	s, f := doc.TraceEvents[starts[0]], doc.TraceEvents[finishes[0]]
+	if s.ID != 8 || f.ID != 8 {
+		t.Fatalf("flow pair keyed by ids %d/%d, want the child span 8", s.ID, f.ID)
+	}
+	if s.Cat != "causal" || f.Cat != "causal" || f.BP != "e" {
+		t.Fatalf("flow pair malformed: start %+v finish %+v", s, f)
+	}
+	// Start binds to the parent's track/time; finish to the child slice
+	// start (T-Dur) on the child's track.
+	scale := chromeScale(meta.Unit)
+	if s.TID != 0 || s.TS != 100*scale {
+		t.Fatalf("flow start at tid %d ts %f, want parent track 0 ts %f", s.TID, s.TS, 100*scale)
+	}
+	if f.TID != 2 || f.TS != 250*scale {
+		t.Fatalf("flow finish at tid %d ts %f, want child track 2 ts %f", f.TID, f.TS, 250*scale)
+	}
+}

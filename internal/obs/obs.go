@@ -39,7 +39,19 @@ const (
 	KindLink
 	// KindExit marks operation completion; Value holds the counter value.
 	KindExit
+	// KindRetry marks one retransmission of a dropped hop on the faulty
+	// message-passing send path: Dur is the backoff pause before the
+	// retry, Node the node the delivery was headed for, and Value the
+	// link id of the dropped wire (fault verdicts carry span ids through
+	// these events).
+	KindRetry
+	// KindDedup marks a receiver suppressing a faulty duplicate delivery;
+	// Node is the receiver. The duplicate's causal chain ends here.
+	KindDedup
 )
+
+// kindMax is the highest defined Kind, the upper bound of kind loops.
+const kindMax = KindDedup
 
 // String names the kind.
 func (k Kind) String() string {
@@ -56,6 +68,10 @@ func (k Kind) String() string {
 		return "link"
 	case KindExit:
 		return "exit"
+	case KindRetry:
+		return "retry"
+	case KindDedup:
+		return "dedup"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -78,8 +94,18 @@ type Event struct {
 	Tok int32
 	// Node is the network node id, -1 when not applicable.
 	Node int32
-	// Value is the counter value on Exit/Counter events, -1 otherwise.
+	// Value is the counter value on Exit/Counter events, the link id on
+	// Retry events, and -1 otherwise.
 	Value int64
+	// Span is the event's causal span id: a Lamport timestamp drawn from
+	// the run's shared Clock, unique within the trace and strictly greater
+	// than Parent. 0 when causal stamping is off.
+	Span uint64
+	// Parent is the span id of the event that causally precedes this one
+	// on the token's path — the previous hop, the send a retry
+	// retransmits, or the original delivery a duplicate shadows. 0 for
+	// chain roots (Enter events) and uncausal traces.
+	Parent uint64
 }
 
 // Tracer receives trace events. Implementations must tolerate concurrent
@@ -96,6 +122,29 @@ type Nop struct{}
 
 // Record implements Tracer.
 func (Nop) Record(Event) {}
+
+// Tee returns a tracer forwarding every event to both a and b, dropping
+// nil branches: Tee(a, nil) is a itself, so the extra dispatch is only
+// paid when both sinks are live. It is how an engine feeds a full-trace
+// ring and a flight recorder from one Record stream.
+func Tee(a, b Tracer) Tracer {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return tee{a, b}
+}
+
+// tee is the two-sink fan-out tracer built by Tee.
+type tee struct{ a, b Tracer }
+
+// Record implements Tracer.
+func (t tee) Record(ev Event) {
+	t.a.Record(ev)
+	t.b.Record(ev)
+}
 
 // Window returns the events whose span overlaps the closed interval
 // [from, to] — the minimal trace slice covering a time window, used to cut

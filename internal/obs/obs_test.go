@@ -19,7 +19,7 @@ func TestNopZeroAlloc(t *testing.T) {
 }
 
 func TestKindStrings(t *testing.T) {
-	for k := KindEnter; k <= KindExit; k++ {
+	for k := KindEnter; k <= kindMax; k++ {
 		s := k.String()
 		if s == "" {
 			t.Fatalf("kind %d has empty name", k)

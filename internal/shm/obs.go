@@ -15,6 +15,7 @@ import (
 type netObs struct {
 	tr    obs.Tracer   // nil when tracing disabled
 	clock func() int64 // nanoseconds on the run's monotonic timeline
+	spans *obs.Clock   // causal span ids; non-nil exactly when tr is
 	tog   *obs.Histogram
 	ratio *obs.Ratio
 	depth []*obs.Gauge // per-balancer concurrent-traverser count; nil entries for counters
@@ -45,6 +46,9 @@ func (n *Network) EnableObs(tr obs.Tracer, reg *obs.Registry, clock func() int64
 		clock = func() int64 { return int64(time.Since(base)) }
 	}
 	o := &netObs{tr: tr, clock: clock}
+	if tr != nil {
+		o.spans = obs.NewClock()
+	}
 	if reg != nil {
 		o.tog = reg.Histogram("shm_tog_wait_ns")
 		o.ratio = reg.Ratio("shm_avg_c2c1", effW)
@@ -72,14 +76,39 @@ func (n *Network) EnableObs(tr obs.Tracer, reg *obs.Registry, clock func() int64
 	n.obs = o
 }
 
+// SpanClock returns the causal span clock tracing draws ids from, or nil
+// when the network runs untraced. Drivers use it to stamp their own
+// enter/exit events on the same timeline and chain them through
+// TraverseSpan.
+func (n *Network) SpanClock() *obs.Clock {
+	if n.obs == nil {
+		return nil
+	}
+	return n.obs.spans
+}
+
 // TraverseObs routes one token like Traverse while recording per-node
 // trace events and metrics under the identity (proc, tok). It falls back
 // to the untraced path when EnableObs was not called. afterNode mirrors
 // TraverseHook's delay-injection callback.
 func (n *Network) TraverseObs(input int, proc, tok int32, afterNode func(id topo.NodeID)) int64 {
+	v, _ := n.TraverseSpan(input, proc, tok, 0, afterNode)
+	return v
+}
+
+// TraverseSpan is TraverseObs with causal stamping: every recorded hop
+// gets a span id from the network's Clock, chained parent → child along
+// the token's path starting from parent (0 for a root). It returns the
+// counter value and the last span id (0 when tracing is off), which the
+// caller chains its exit event — or the token's next traversal — onto.
+func (n *Network) TraverseSpan(input int, proc, tok int32, parent uint64, afterNode func(id topo.NodeID)) (int64, uint64) {
 	o := n.obs
 	if o == nil {
-		return n.TraverseHook(input, afterNode)
+		return n.TraverseHook(input, afterNode), 0
+	}
+	span := uint64(0)
+	if o.tr != nil {
+		span = parent
 	}
 	p := n.g.Input(input)
 	for {
@@ -99,8 +128,11 @@ func (n *Network) TraverseObs(input int, proc, tok int32, afterNode func(id topo
 				o.ratio.Observe(t1 - t0)
 			}
 			if o.tr != nil {
+				sp := o.spans.Tick()
 				o.tr.Record(obs.Event{T: t1, Dur: t1 - t0, Kind: obs.KindBalancer,
-					P: proc, Tok: tok, Node: int32(id), Value: -1})
+					P: proc, Tok: tok, Node: int32(id), Value: -1,
+					Span: sp, Parent: span})
+				span = sp
 			}
 			if afterNode != nil {
 				afterNode(id)
@@ -117,13 +149,16 @@ func (n *Network) TraverseObs(input int, proc, tok int32, afterNode func(id topo
 			o.fai.Inc()
 		}
 		if o.tr != nil {
+			sp := o.spans.Tick()
 			o.tr.Record(obs.Event{T: t1, Dur: t1 - t0, Kind: obs.KindCounter,
-				P: proc, Tok: tok, Node: int32(id), Value: v})
+				P: proc, Tok: tok, Node: int32(id), Value: v,
+				Span: sp, Parent: span})
+			span = sp
 		}
 		if afterNode != nil {
 			afterNode(id)
 		}
-		return v
+		return v, span
 	}
 }
 

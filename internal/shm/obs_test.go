@@ -151,3 +151,98 @@ func TestEffWait(t *testing.T) {
 func obsGaugeName(id int) string {
 	return fmt.Sprintf("shm_bal%03d_depth", id)
 }
+
+// TestStressCausalSpans checks the shared-memory trace carries the same
+// causal structure msgnet's does: unique span ids, each token a single
+// enter → balancers → counter → exit parent chain, and the whole trace
+// causally closed.
+func TestStressCausalSpans(t *testing.T) {
+	g, err := bitonic.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Compile(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := obs.NewRing(4, 1<<13)
+	const ops = 200
+	if _, err := Stress(StressConfig{Net: n, Workers: 4, Ops: ops, Seed: 7, Tracer: ring}); err != nil {
+		t.Fatal(err)
+	}
+	events := ring.Events()
+	if closed, orphans := obs.CausalClosure(events); orphans != 0 || len(closed) != len(events) {
+		t.Fatalf("stress trace not causally closed: %d orphans", orphans)
+	}
+	spans := map[uint64]bool{}
+	byTok := map[int32][]obs.Event{}
+	for _, ev := range events {
+		if ev.Span == 0 {
+			t.Fatalf("unstamped event in traced run: %+v", ev)
+		}
+		if spans[ev.Span] {
+			t.Fatalf("span id %d reused", ev.Span)
+		}
+		spans[ev.Span] = true
+		byTok[ev.Tok] = append(byTok[ev.Tok], ev)
+	}
+	depth := g.Depth()
+	for tok, chain := range byTok {
+		sort.Slice(chain, func(i, j int) bool { return chain[i].Span < chain[j].Span })
+		if len(chain) != depth+3 {
+			t.Fatalf("token %d has %d events, want enter+%d balancers+counter+exit", tok, len(chain), depth)
+		}
+		if chain[0].Kind != obs.KindEnter || chain[0].Parent != 0 {
+			t.Fatalf("token %d chain does not start at a root enter: %+v", tok, chain[0])
+		}
+		for i := 1; i < len(chain); i++ {
+			if chain[i].Parent != chain[i-1].Span {
+				t.Fatalf("token %d causal chain broken at %d: %+v after %+v", tok, i, chain[i], chain[i-1])
+			}
+		}
+	}
+}
+
+// TestStressCombineSpans pins the funnel path's causal story: a combined
+// worker's exit chains straight onto its enter (the traversal ran on the
+// combiner's identity), so the trace still closes with zero orphans.
+func TestStressCombineSpans(t *testing.T) {
+	g, err := bitonic.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Compile(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := obs.NewRing(8, 1<<13)
+	const ops = 200
+	if _, err := Stress(StressConfig{
+		Net: n, Workers: 8, Ops: ops, Seed: 7, Tracer: ring,
+		Combine: true, CombineWidth: 8, CombineWindow: 20 * time.Microsecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	events := ring.Events()
+	if _, orphans := obs.CausalClosure(events); orphans != 0 {
+		t.Fatalf("combine trace not causally closed: %d orphans", orphans)
+	}
+	enterSpan := map[int64]uint64{} // (wkr, tok) key → enter span
+	key := func(ev obs.Event) int64 { return int64(ev.P)<<32 | int64(ev.Tok) }
+	for _, ev := range events {
+		if ev.Kind == obs.KindEnter {
+			enterSpan[key(ev)] = ev.Span
+		}
+	}
+	for _, ev := range events {
+		if ev.Kind != obs.KindExit {
+			continue
+		}
+		if ev.Parent == 0 {
+			t.Fatalf("exit without causal parent: %+v", ev)
+		}
+		if ev.Parent == enterSpan[key(ev)] {
+			continue // combined away: exit chains onto its own enter
+		}
+	}
+}

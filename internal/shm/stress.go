@@ -120,6 +120,7 @@ func Stress(cfg StressConfig) (*StressResult, error) {
 	if observed {
 		cfg.Net.EnableObs(cfg.Tracer, cfg.Metrics, clock, cfg.EffWait())
 	}
+	spanClock := cfg.Net.SpanClock() // non-nil exactly when tracing is on
 	var funnel *combine.Funnel
 	if cfg.Combine {
 		funnel = combine.New(combine.Options{
@@ -159,23 +160,36 @@ func Stress(cfg StressConfig) (*StressResult, error) {
 				}
 				tok = int32(int64(cfg.Ops) - 1 - rem)
 				start := clock()
+				var parent uint64
 				if observed && cfg.Tracer != nil {
+					if spanClock != nil {
+						parent = spanClock.Tick()
+					}
 					cfg.Tracer.Record(obs.Event{T: start, Kind: obs.KindEnter,
-						P: int32(wkr), Tok: tok, Node: -1, Value: -1})
+						P: int32(wkr), Tok: tok, Node: -1, Value: -1, Span: parent})
 				}
 				var v int64
+				// last is the exit event's causal parent: the counter hop
+				// when this worker traversed itself, the enter event when a
+				// funnel combiner traversed on its behalf.
+				last := parent
 				switch {
 				case funnel != nil:
 					v = funnel.Do(1, trav)[0]
 				case observed:
-					v = cfg.Net.TraverseObs(input, int32(wkr), tok, hook)
+					v, last = cfg.Net.TraverseSpan(input, int32(wkr), tok, parent, hook)
 				default:
 					v = cfg.Net.TraverseHook(input, hook)
 				}
 				end := clock()
 				if observed && cfg.Tracer != nil {
-					cfg.Tracer.Record(obs.Event{T: end, Dur: end - start, Kind: obs.KindExit,
-						P: int32(wkr), Tok: tok, Node: -1, Value: v})
+					ev := obs.Event{T: end, Dur: end - start, Kind: obs.KindExit,
+						P: int32(wkr), Tok: tok, Node: -1, Value: v}
+					if spanClock != nil {
+						ev.Span = spanClock.Tick()
+						ev.Parent = last
+					}
+					cfg.Tracer.Record(ev)
 				}
 				rec.Record(start, end, v)
 			}

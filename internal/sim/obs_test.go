@@ -191,3 +191,62 @@ func TestUntracedRunUnchanged(t *testing.T) {
 		t.Fatalf("tracing changed the run: %+v vs %+v", plain.Report, withObs.Report)
 	}
 }
+
+// TestCausalSpansDeterministic checks the simulator's span graph: unique
+// ids, each token a single parent chain, the trace causally closed, and —
+// because the engine is single-threaded — two runs with the same seed
+// produce identical span/parent assignments.
+func TestCausalSpansDeterministic(t *testing.T) {
+	run := func() []obs.Event {
+		g, err := bitonic.New(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ring := obs.NewRing(8, 1<<14)
+		if _, err := Run(Config{Net: g, Procs: 8, Ops: 200, Seed: 3, Tracer: ring}); err != nil {
+			t.Fatal(err)
+		}
+		return ring.Events()
+	}
+	events := run()
+	if closed, orphans := obs.CausalClosure(events); orphans != 0 || len(closed) != len(events) {
+		t.Fatalf("sim trace not causally closed: %d orphans", orphans)
+	}
+	spans := map[uint64]bool{}
+	chains := map[int32]uint64{} // token → last span seen walking span order
+	var order []obs.Event
+	for _, ev := range events {
+		if ev.Span == 0 {
+			t.Fatalf("unstamped event in traced run: %+v", ev)
+		}
+		if spans[ev.Span] {
+			t.Fatalf("span id %d reused", ev.Span)
+		}
+		spans[ev.Span] = true
+		order = append(order, ev)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Span < order[j].Span })
+	for _, ev := range order {
+		if ev.Parent != chains[ev.Tok] {
+			t.Fatalf("token %d chain broken: event %+v, expected parent %d", ev.Tok, ev, chains[ev.Tok])
+		}
+		if ev.Kind == obs.KindExit {
+			delete(chains, ev.Tok)
+		} else {
+			chains[ev.Tok] = ev.Span
+		}
+	}
+	if len(chains) != 0 {
+		t.Fatalf("%d tokens never exited their span chain", len(chains))
+	}
+
+	again := run()
+	if len(again) != len(events) {
+		t.Fatalf("reruns traced %d vs %d events", len(again), len(events))
+	}
+	for i := range events {
+		if events[i] != again[i] {
+			t.Fatalf("sim trace not deterministic at %d: %+v vs %+v", i, events[i], again[i])
+		}
+	}
+}

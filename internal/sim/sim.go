@@ -246,6 +246,13 @@ type sim struct {
 	tr obs.Tracer  // nil when tracing is disabled
 	mx *simMetrics // nil when metrics are disabled
 
+	// Causal span state, populated only when tracing: the engine is
+	// single-threaded, so a plain counter issues ids and a map keyed by
+	// token carries each token's previous span (keyed access only — never
+	// iterated — so runs stay deterministic).
+	spanSeq  uint64
+	lastSpan map[int]uint64
+
 	ops         []lincheck.Op
 	opStart     map[int]int64 // token id -> start time
 	started     int
@@ -276,10 +283,25 @@ func (s *sim) startOp(p int) {
 		s.mx.inflight.Set(s.inflight)
 	}
 	if s.tr != nil {
+		span, parent := s.stamp(tok)
 		s.tr.Record(obs.Event{T: s.eng.now, Kind: obs.KindEnter, P: int32(p), Tok: int32(tok),
-			Node: int32(s.st.At(tok).Node), Value: -1})
+			Node: int32(s.st.At(tok).Node), Value: -1, Span: span, Parent: parent})
 	}
 	s.arrive(p, tok)
+}
+
+// stamp issues the next causal span id for token tok, returning it along
+// with the token's previous span (0 for a fresh token) as the parent.
+// Call only when tracing is enabled.
+func (s *sim) stamp(tok int) (span, parent uint64) {
+	s.spanSeq++
+	span = s.spanSeq
+	if s.lastSpan == nil {
+		s.lastSpan = make(map[int]uint64, s.cfg.Procs)
+	}
+	parent = s.lastSpan[tok]
+	s.lastSpan[tok] = span
+	return span, parent
 }
 
 // memExtra is the global memory-interference cost of one node access: it
@@ -344,8 +366,10 @@ func (s *sim) acquire(node topo.NodeID, kind topo.Kind, occupancy, arrival int64
 			if kind == topo.KindCounter {
 				k = obs.KindCounter
 			}
+			span, parent := s.stamp(tok)
 			s.tr.Record(obs.Event{T: serviceEnd, Dur: serviceEnd - arrival, Kind: k,
-				P: int32(p), Tok: int32(tok), Node: int32(node), Value: -1})
+				P: int32(p), Tok: int32(tok), Node: int32(node), Value: -1,
+				Span: span, Parent: parent})
 		}
 		s.transit(p, tok)
 	})
@@ -371,8 +395,10 @@ func (s *sim) serveUnfair(node topo.NodeID, kind topo.Kind, occupancy, arrival i
 			if kind == topo.KindCounter {
 				k = obs.KindCounter
 			}
+			span, parent := s.stamp(tok)
 			s.tr.Record(obs.Event{T: serviceEnd, Dur: serviceEnd - arrival, Kind: k,
-				P: int32(p), Tok: int32(tok), Node: int32(node), Value: -1})
+				P: int32(p), Tok: int32(tok), Node: int32(node), Value: -1,
+				Span: span, Parent: parent})
 		}
 		s.transit(p, tok)
 		if len(st.waiting) == 0 {
@@ -406,10 +432,14 @@ func (s *sim) arrivePrism(p, tok int, node topo.NodeID) {
 				s.mx.diffracted.Add(2)
 			}
 			if s.tr != nil {
+				span, pparent := s.stamp(partner)
 				s.tr.Record(obs.Event{T: done, Dur: done - partnerArr, Kind: obs.KindDiffract,
-					P: int32(partnerProc), Tok: int32(partner), Node: int32(node), Value: -1})
+					P: int32(partnerProc), Tok: int32(partner), Node: int32(node), Value: -1,
+					Span: span, Parent: pparent})
+				span, parent := s.stamp(tok)
 				s.tr.Record(obs.Event{T: done, Dur: done - arrival, Kind: obs.KindDiffract,
-					P: int32(p), Tok: int32(tok), Node: int32(node), Value: -1})
+					P: int32(p), Tok: int32(tok), Node: int32(node), Value: -1,
+					Span: span, Parent: parent})
 			}
 			// The partner diffracts first: two consecutive toggle
 			// positions, so the pair leaves on both outputs and the
@@ -457,8 +487,11 @@ func (s *sim) transit(p, tok int) {
 			s.mx.inflight.Set(s.inflight)
 		}
 		if s.tr != nil {
+			span, parent := s.stamp(tok)
 			s.tr.Record(obs.Event{T: s.eng.now, Kind: obs.KindExit,
-				P: int32(p), Tok: int32(tok), Node: -1, Value: v})
+				P: int32(p), Tok: int32(tok), Node: -1, Value: v,
+				Span: span, Parent: parent})
+			delete(s.lastSpan, tok)
 		}
 		if s.eng.now > s.lastDone {
 			s.lastDone = s.eng.now
@@ -472,8 +505,10 @@ func (s *sim) transit(p, tok int) {
 	}
 	s.mx.observeLink(from, link)
 	if s.tr != nil {
+		span, parent := s.stamp(tok)
 		s.tr.Record(obs.Event{T: s.eng.now + link, Dur: link, Kind: obs.KindLink,
-			P: int32(p), Tok: int32(tok), Node: int32(from), Value: -1})
+			P: int32(p), Tok: int32(tok), Node: int32(from), Value: -1,
+			Span: span, Parent: parent})
 	}
 	s.eng.after(link+s.postNodeWait(p), func() { s.arrive(p, tok) })
 }
