@@ -59,15 +59,19 @@ race:
 chaos:
 	$(GO) run -race ./cmd/conformance -mode chaos -rounds 10 -fault-seed 1 -shrink -out chaos-plan.jsonl
 
-# bench runs the root (simulator-facing), internal/shm, and internal/obs
-# benchmarks and writes the machine-readable BENCH_sim.json /
-# BENCH_shm.json / BENCH_obs.json files whose format is documented in
-# EXPERIMENTS.md (E20). The obs run doubles as the measurement-cost
-# record: span stamping and flight recording are 0 allocs/op.
+# bench runs the root (simulator-facing), internal/shm, adaptive-engine,
+# and internal/obs benchmarks and writes the machine-readable
+# BENCH_sim.json / BENCH_shm.json / BENCH_adaptive.json / BENCH_obs.json
+# files whose format is documented in EXPERIMENTS.md (E20). The adaptive
+# run is the E25 crossover sweep (static engines vs the adaptive
+# front-end, 1..256 workers); the obs run doubles as the
+# measurement-cost record: span stamping and flight recording are
+# 0 allocs/op.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem . | $(GO) run ./cmd/benchfmt -o BENCH_sim.json
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/shm | $(GO) run ./cmd/benchfmt -o BENCH_shm.json
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/shm/adaptive | $(GO) run ./cmd/benchfmt -o BENCH_adaptive.json
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/obs | $(GO) run ./cmd/benchfmt -o BENCH_obs.json
 
 clean:
-	rm -f BENCH_sim.json BENCH_shm.json BENCH_obs.json chaos-plan.jsonl
+	rm -f BENCH_sim.json BENCH_shm.json BENCH_adaptive.json BENCH_obs.json chaos-plan.jsonl

@@ -1,9 +1,10 @@
 // Command conformance runs the cross-engine conformance harness: the
 // deterministic corpus (every network family and width through the
-// quiescent executor, the cycle simulator, the shared-memory runtime, and
-// the message-passing runtime both fault-free and fault-injected) and
-// long schedule-fuzzing soaks against the Section 3 theorems (Corollaries
-// 3.9 and 3.12).
+// quiescent executor, the cycle simulator, the shared-memory runtime —
+// plain, behind the combining funnel, and behind the contention-adaptive
+// front-end — and the message-passing runtime both fault-free and
+// fault-injected) and long schedule-fuzzing soaks against the Section 3
+// theorems (Corollaries 3.9 and 3.12).
 //
 //	conformance                       corpus + a short soak
 //	conformance -mode soak -rounds 5000 -shrink -out fail.jsonl
@@ -126,7 +127,7 @@ func run(args []string, w io.Writer) error {
 
 // crossEngine runs the differential corpus and reports per-cell agreement.
 func crossEngine(w io.Writer, reg *obs.Registry, nets []workload.NetKind, widths []int, procs, ops int, seed int64) error {
-	fmt.Fprintln(w, "== cross-engine conformance (quiescent / sim / shm / shm-combine / msgnet / msgnet-faults) ==")
+	fmt.Fprintln(w, "== cross-engine conformance (quiescent / sim / shm / shm-combine / shm-adaptive / msgnet / msgnet-faults) ==")
 	cells := reg.Counter("conformance_cross_cells_total")
 	for _, net := range nets {
 		for _, width := range widths {
@@ -143,7 +144,7 @@ func crossEngine(w io.Writer, reg *obs.Registry, nets []workload.NetKind, widths
 				return fmt.Errorf("ENGINES DISAGREE on %s: %w", spec, err)
 			}
 			cells.Inc()
-			fmt.Fprintf(w, "%-32s 6 engines agree (%d ops)\n", spec, ops)
+			fmt.Fprintf(w, "%-32s 7 engines agree (%d ops)\n", spec, ops)
 		}
 	}
 	return nil

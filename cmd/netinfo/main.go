@@ -6,10 +6,11 @@
 //	netinfo -net bitonic -width 8 -measure
 //
 // -measure runs a small instrumented workload through each engine — cycle
-// simulator, shared-memory goroutines both plain and behind the combining
-// funnel, message-passing channels — and prints the measured Tog, W, and
-// (Tog+W)/Tog timing ratio per engine (the paper's Section 5 measure, live
-// rather than offline), plus the funnel's combine hit rate.
+// simulator, shared-memory goroutines plain, behind the combining funnel,
+// and behind the contention-adaptive front-end, message-passing channels —
+// and prints the measured Tog, W, and (Tog+W)/Tog timing ratio per engine
+// (the paper's Section 5 measure, live rather than offline), plus the
+// funnel's combine hit rate and the adaptive engine's regime tallies.
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"countnet/internal/msgnet"
 	"countnet/internal/obs"
 	"countnet/internal/shm"
+	"countnet/internal/shm/adaptive"
 	"countnet/internal/topo"
 	"countnet/internal/workload"
 )
@@ -162,6 +164,36 @@ func measureEngines(w io.Writer, net workload.NetKind, width int) error {
 	}
 	fmt.Fprintf(w, "%-8s %-7s %14.1f %14.0f %14.3f   combine hit rate %.2f\n",
 		"shm+cmb", "ns", combRes.Tog, combCfg.EffWait(), combRes.AvgRatio, combRes.Combine.HitRate())
+
+	adNet, err := shm.Compile(g, shm.Options{Diffract: net == workload.DTree})
+	if err != nil {
+		return err
+	}
+	adCfg := shmCfg
+	adCfg.Net = adNet
+	adCfg.Metrics = obs.NewRegistry()
+	front, err := adaptive.New(adNet, adaptive.Options{
+		EffWait: adCfg.EffWait(), Metrics: adCfg.Metrics,
+	})
+	if err != nil {
+		return err
+	}
+	adCfg.Front = front
+	if _, err := shm.Stress(adCfg); err != nil {
+		return err
+	}
+	ast := front.Stats()
+	// The front-end's own estimator is the adaptive row's ratio: it is
+	// what drives the regime (and Corollary 3.12 padding) decisions, and
+	// unlike the network-side gauge it also samples direct-mode tokens.
+	adTog := 0.0
+	if r := front.Ratio(); r != nil {
+		adTog = r.Tog()
+	}
+	fmt.Fprintf(w, "%-8s %-7s %14.1f %14.0f %14.3f   modes d/c/n %d/%d/%d, %d switches\n",
+		"adaptive", "ns", adTog, adCfg.EffWait(), ast.Ratio,
+		ast.PerMode[adaptive.ModeDirect], ast.PerMode[adaptive.ModeCombine],
+		ast.PerMode[adaptive.ModeNetwork], ast.Switches)
 
 	reg := obs.NewRegistry()
 	mn, err := msgnet.StartOpts(g, msgnet.Options{Buffer: 1, Metrics: reg})

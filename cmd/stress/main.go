@@ -8,6 +8,7 @@
 //	stress -compare -workers 64 -ops 200000
 //	stress -trace run.json -metrics - -pprof :6060
 //	stress -combine -workers 256 -width 8 -frac 1 -delay 20us -burn
+//	stress -engine adaptive -workers 256 -width 8 -linearizable
 //	stress -engine msgnet -faults 0.05 -fault-seed 7 -delay 10us
 //
 // With -engine msgnet the workload runs on the message-passing runtime
@@ -22,6 +23,14 @@
 // front of the network and a representative walks once for a whole group
 // (internal/shm/combine); the run report then includes the funnel's hit
 // rate and combining degree, and the same counters appear in /metrics.
+//
+// With -engine adaptive the workload runs behind the contention-adaptive
+// front-end (internal/shm/adaptive): tokens route through a direct
+// counter, the combining funnel, or the full network as the measured
+// load changes, and the report gains the regime history (per-mode token
+// tallies, switch count, live (Tog+W)/Tog estimate). -linearizable turns
+// on the Corollary 3.12 prefix padding whenever the measured ratio
+// implies k > 2.
 //
 // With -trace the run's token events (enter, per-balancer traversal with
 // wait duration, counter, exit) are exported as JSONL (.jsonl) or Chrome
@@ -45,6 +54,7 @@ import (
 	"countnet/internal/msgnet"
 	"countnet/internal/obs"
 	"countnet/internal/shm"
+	"countnet/internal/shm/adaptive"
 	funnel "countnet/internal/shm/combine"
 	"countnet/internal/stats"
 	"countnet/internal/workload"
@@ -74,7 +84,8 @@ func run(args []string, w io.Writer) error {
 		combWin = fs.Duration("combine-window", 0, fmt.Sprintf("how long a token camps for partners before traversing alone (0 = default, %v)", funnel.DefaultWindow))
 		compare = fs.Bool("compare", false, "compare network throughput against single-point counters")
 		grid    = fs.Bool("grid", false, "run the wall-clock analogue of the paper's Figure 5/6 grid")
-		engine  = fs.String("engine", "shm", "execution engine: shm or msgnet")
+		engine  = fs.String("engine", "shm", "execution engine: shm, adaptive, or msgnet")
+		linear  = fs.Bool("linearizable", false, "adaptive engine: insert Corollary 3.12 prefix padding when the measured ratio implies k > 2")
 		faultsF = fs.Float64("faults", 0, "msgnet fault intensity in [0,1]: drop rate, with dup/reorder at half (msgnet engine only)")
 		faultSd = fs.Int64("fault-seed", 1, "seed for the deterministic fault plan")
 		seed    = fs.Int64("seed", 1, "workload seed")
@@ -103,15 +114,21 @@ func run(args []string, w io.Writer) error {
 			delay: *delay, intensity: *faultsF, faultSeed: *faultSd,
 			trace: *trace, flight: *flight, metrics: *metrics,
 		})
-	case "shm":
+	case "shm", "adaptive":
 		if *faultsF != 0 {
 			return fmt.Errorf("-faults requires -engine msgnet")
 		}
 		if *flight != "" {
 			return fmt.Errorf("-flight requires -engine msgnet")
 		}
+		if *engine == "adaptive" && *combine {
+			return fmt.Errorf("-combine conflicts with -engine adaptive (the adaptive engine owns its own funnel)")
+		}
 	default:
 		return fmt.Errorf("unknown engine %q", *engine)
+	}
+	if *linear && *engine != "adaptive" {
+		return fmt.Errorf("-linearizable requires -engine adaptive")
 	}
 	var k shm.Kind
 	switch *kind {
@@ -140,6 +157,21 @@ func run(args []string, w io.Writer) error {
 	}
 	if *trace != "" || *metrics != "" || *pprofA != "" {
 		cfg.Metrics = obs.NewRegistry()
+	}
+	var front *adaptive.Counter
+	if *engine == "adaptive" {
+		front, err = adaptive.New(n, adaptive.Options{
+			Kind:          k,
+			Linearizable:  *linear,
+			CombineWidth:  *combW,
+			CombineWindow: *combWin,
+			EffWait:       cfg.EffWait(),
+			Metrics:       cfg.Metrics,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Front = front
 	}
 	if *pprofA != "" {
 		addr, stop, err := obs.Serve(*pprofA, cfg.Metrics)
@@ -172,6 +204,21 @@ func run(args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "combine: hit rate %.2f, %d combined walks (avg degree %.1f), %d partners, %d timeouts, %d idle, %d races\n",
 			c.HitRate(), c.Pairs, deg, c.Partners, c.Timeouts, c.Idle, c.Races)
+	}
+	if front != nil {
+		st := front.Stats()
+		fmt.Fprintf(w, "adaptive: ended in %s after %d switches, tokens direct/combine/network = %d/%d/%d, (Tog+W)/Tog est %.3f\n",
+			st.Mode, st.Switches, st.PerMode[adaptive.ModeDirect], st.PerMode[adaptive.ModeCombine], st.PerMode[adaptive.ModeNetwork], st.Ratio)
+		if st.PadK > 1 {
+			fmt.Fprintf(w, "adaptive: running Corollary 3.12 padded network, k=%d\n", st.PadK)
+		}
+		if eps := front.Epochs(); len(eps) > 0 {
+			fmt.Fprintf(w, "adaptive: regime history:")
+			for _, e := range eps {
+				fmt.Fprintf(w, " %s×%d", e.Mode, e.Tokens)
+			}
+			fmt.Fprintf(w, " %s×%d(live)\n", st.Mode, st.PerMode[st.Mode]-liveAdjust(eps, st.Mode))
+		}
 	}
 	if ring != nil {
 		if dropped := ring.Overwritten(); dropped > 0 {
@@ -348,6 +395,19 @@ func runMsgnetStress(w io.Writer, cfg msgnetStressConfig) error {
 		}
 	}
 	return nil
+}
+
+// liveAdjust returns the closed-epoch token total for the given mode, so
+// the live epoch's share can be split out of the cumulative per-mode
+// tally in the regime-history line.
+func liveAdjust(eps []adaptive.EpochStat, m adaptive.Mode) int64 {
+	var n int64
+	for _, e := range eps {
+		if e.Mode == m {
+			n += e.Tokens
+		}
+	}
+	return n
 }
 
 // exportTrace writes events to path in the format implied by its extension.

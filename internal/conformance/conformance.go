@@ -1,11 +1,12 @@
 // Package conformance is the cross-engine differential testing harness: it
 // runs the same workloads through every execution engine in the repository
 // — the quiescent topo executor, the cycle simulator (internal/sim), the
-// real-goroutine runtime (internal/shm) both plain and behind the
-// elimination/combining funnel (internal/shm/combine), the message-passing
-// runtime (internal/msgnet) both fault-free and under deterministic fault
-// injection (internal/faults), and the timed schedule executor
-// (internal/schedule) —
+// real-goroutine runtime (internal/shm) plain, behind the
+// elimination/combining funnel (internal/shm/combine), and behind the
+// contention-adaptive front-end (internal/shm/adaptive), the
+// message-passing runtime (internal/msgnet) both fault-free and under
+// deterministic fault injection (internal/faults), and the timed schedule
+// executor (internal/schedule) —
 // and asserts the invariants that must hold in every engine, no matter the
 // interleaving:
 //
@@ -283,6 +284,33 @@ func RunSHMCombined(spec workload.Spec) (*Execution, error) {
 	return &Execution{Engine: "shm-combine", Ops: res.Ops}, nil
 }
 
+// RunSHMAdaptive executes the spec on the shared-memory runtime behind
+// the contention-adaptive front-end (internal/shm/adaptive), with the
+// Linearizable option on so the Corollary 3.12 padding path is exercised
+// whenever the measured ratio implies k > 2. Tokens cross direct-counter,
+// funnel, and network regimes mid-run; the drain-then-switch epochs must
+// make every transition invisible in the quiescent invariants, which is
+// what running it as a differential engine asserts.
+func RunSHMAdaptive(spec workload.Spec) (*Execution, error) {
+	real := workload.RealSpec{
+		Net:                  spec.Net,
+		Width:                spec.Width,
+		Workers:              spec.Procs,
+		Ops:                  spec.Ops,
+		Frac:                 spec.Frac,
+		Delay:                time.Duration(spec.Wait) * time.Nanosecond,
+		RandomDelay:          spec.RandomWait,
+		Seed:                 spec.Seed,
+		Adaptive:             true,
+		AdaptiveLinearizable: true,
+	}
+	res, err := real.Run()
+	if err != nil {
+		return nil, fmt.Errorf("shm-adaptive: %w", err)
+	}
+	return &Execution{Engine: "shm-adaptive", Ops: res.Ops}, nil
+}
+
 // RunMsgnet executes the spec on the message-passing runtime: spec.Procs
 // goroutines issue spec.Ops traversals in total, each timestamped with the
 // monotonic clock. The shared harness lives in runMsgnet (faults.go),
@@ -370,9 +398,10 @@ func CheckPadded(g *topo.Graph, c *schedule.Concrete) error {
 	return nil
 }
 
-// CrossCheck runs the spec through all six execution engines — quiescent
-// topo, sim, shm, shm with the combining funnel, msgnet, and msgnet under
-// the spec-derived fault plan — and verifies the universal invariants on
+// CrossCheck runs the spec through all seven execution engines —
+// quiescent topo, sim, shm, shm with the combining funnel, shm behind the
+// contention-adaptive front-end, msgnet, and msgnet under the
+// spec-derived fault plan — and verifies the universal invariants on
 // each; any breach is an engine disagreement. The returned error carries
 // the spec's JSON so the failing cell can be replayed exactly.
 func CrossCheck(spec workload.Spec) error {
@@ -393,7 +422,7 @@ func CrossCheck(spec workload.Spec) error {
 	if err != nil {
 		return replayable(spec, err)
 	}
-	for _, run := range []func(workload.Spec) (*Execution, error){RunSim, RunSHM, RunSHMCombined, RunMsgnet, RunMsgnetFaulty} {
+	for _, run := range []func(workload.Spec) (*Execution, error){RunSim, RunSHM, RunSHMCombined, RunSHMAdaptive, RunMsgnet, RunMsgnetFaulty} {
 		exec, err := run(spec)
 		if err != nil {
 			return replayable(spec, err)

@@ -1,0 +1,565 @@
+// Package adaptive is the contention-adaptive counter front-end: one
+// shared counter whose internal structure follows the load it actually
+// sees. At low contention tokens take a direct padded fetch-and-add
+// counter (the fastest structure when nobody collides); at medium
+// contention they rendezvous in the elimination/combining funnel
+// (internal/shm/combine) in front of the counting network; at high
+// contention they traverse the full-width balancing network, whose whole
+// point is that no single memory word is hot. The regime choice is driven
+// by a lightweight online estimate of the paper's Section 5 measure
+// (Tog+W)/Tog — the empirical c2/c1 — together with occupancy and
+// CAS-failure signals, with hysteresis so the mode does not flap.
+//
+// Mode switches preserve exact counting. Every token enters through a
+// seqlock-style epoch gate: a switch closes the gate (odd value), waits
+// for every in-flight token to drain, rolls the accounting epoch, swaps
+// the backend, and reopens the gate (next even value). Each backend keeps
+// a cumulative issue sequence, and a token's public value is
+//
+//	epoch.base + (backend sequence number - backend count at epoch start)
+//
+// so at every quiescent point the values handed out since creation form
+// the gapless permutation 0..n-1 and therefore satisfy the step property
+// on any output partition — the invariant the conformance harness checks
+// differentially against the six other engines. Because a switch only
+// happens through a drained boundary, no interleaving can observe a
+// half-switched structure.
+//
+// The Linearizable option implements the honest version of the paper's
+// Corollary 3.12 trade: when the measured (Tog+W)/Tog ratio implies
+// c2 > 2*c1 (k > 2), network-mode traffic is routed through a padded
+// network with h*(k-2) prefix pass-through balancers per input instead of
+// silently running a regime in which linearizability is no longer
+// guaranteed. The padding costs depth, exactly as the paper says
+// guaranteed linearizability must.
+package adaptive
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"countnet/internal/core"
+	"countnet/internal/obs"
+	"countnet/internal/shm"
+	"countnet/internal/shm/backoff"
+	"countnet/internal/shm/combine"
+	"countnet/internal/topo"
+)
+
+// Mode names one of the three counting structures.
+type Mode int32
+
+// The contention regimes, in escalation order.
+const (
+	// ModeDirect serves tokens from a single padded fetch-and-add
+	// counter: optimal when tokens rarely collide.
+	ModeDirect Mode = iota
+	// ModeCombine routes tokens through the elimination/combining funnel
+	// in front of the network: medium contention, where pairing pays for
+	// its rendezvous.
+	ModeCombine
+	// ModeNetwork sends every token through the full-width balancing
+	// network: high contention, where only width keeps any one word cool.
+	ModeNetwork
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeDirect:
+		return "direct"
+	case ModeCombine:
+		return "combine"
+	case ModeNetwork:
+		return "network"
+	default:
+		return fmt.Sprintf("mode(%d)", int32(m))
+	}
+}
+
+// Defaults for Options.
+const (
+	// DefaultWindow is the default controller window in tokens.
+	DefaultWindow = 512
+	// DefaultHold is how many consecutive windows must agree on a regime
+	// change before the switch happens (the hysteresis depth).
+	DefaultHold = 2
+	// DefaultDirectMax is the mean occupancy above which the direct
+	// counter escalates to the combining funnel.
+	DefaultDirectMax = 6
+	// DefaultCombineMax is the mean occupancy above which the funnel
+	// escalates to the full network.
+	DefaultCombineMax = 48
+	// DefaultRaceMax is the funnel CAS-failure-per-token rate above which
+	// combine escalates to the network regardless of occupancy.
+	DefaultRaceMax = 2.0
+	// DefaultMaxPadK caps the Corollary 3.12 padding factor so a wildly
+	// noisy ratio estimate cannot compile an unboundedly deep prefix.
+	DefaultMaxPadK = 6
+)
+
+// sampleShift sets the ratio/occupancy sampling rate: one token in
+// 1<<sampleShift is timed. Sampling keeps the hot path free of clock
+// reads.
+const sampleShift = 6
+
+// stripes is the width of the striped in-flight census. Tokens add to the
+// stripe hashed from their processor id, so the epoch gate's drain scan is
+// the only place all stripes meet.
+const stripes = 32
+
+// Options configures a Counter.
+type Options struct {
+	// Kind is the toggle implementation used when compiling padded
+	// networks (default shm.KindMCS, matching the main network).
+	Kind shm.Kind
+	// Window is the controller window in tokens (default DefaultWindow).
+	Window int
+	// Hold is the hysteresis depth in windows (default DefaultHold).
+	Hold int
+	// DirectMax and CombineMax are the escalation occupancy thresholds
+	// (defaults DefaultDirectMax, DefaultCombineMax); de-escalation uses
+	// half of each, so the two directions never share an edge.
+	DirectMax  int
+	CombineMax int
+	// RaceMax is the combine-mode CAS-failure-per-token escalation
+	// threshold (default DefaultRaceMax).
+	RaceMax float64
+	// Linearizable routes network-mode traffic through the Corollary 3.12
+	// padded network whenever the measured (Tog+W)/Tog ratio implies
+	// k > 2, instead of silently degrading.
+	Linearizable bool
+	// MaxPadK caps the padding factor k (default DefaultMaxPadK).
+	MaxPadK int
+	// CombineWidth and CombineWindow configure the funnel (zero values
+	// mean the combine package defaults).
+	CombineWidth  int
+	CombineWindow time.Duration
+	// EffWait is the effective injected per-node delay in nanoseconds —
+	// the W of the (Tog+W)/Tog estimate (0 when the workload injects no
+	// delays).
+	EffWait float64
+	// Metrics, when non-nil, registers the adaptive metric family:
+	// shm_adaptive_mode / _epoch gauges, shm_adaptive_switches_total,
+	// the shm_adaptive_c2c1 ratio estimator, and the live occupancy
+	// gauge.
+	Metrics *obs.Registry
+}
+
+// EpochStat is the closed accounting record of one epoch.
+type EpochStat struct {
+	// Epoch is the epoch's sequence number, starting at 0.
+	Epoch uint64
+	// Mode is the structure that served the epoch.
+	Mode Mode
+	// Tokens is how many values the epoch handed out.
+	Tokens int64
+	// PadK is the Corollary 3.12 padding factor in effect (1 when the
+	// epoch ran unpadded).
+	PadK int
+}
+
+// Stats is a live snapshot of the counter.
+type Stats struct {
+	// Tokens is the total number of values handed out so far.
+	Tokens int64
+	// Mode is the current regime and Epoch the current epoch number.
+	Mode  Mode
+	Epoch uint64
+	// Switches counts completed drain-then-switch transitions.
+	Switches int64
+	// PerMode tallies tokens by the mode that served them (closed epochs
+	// plus the live one).
+	PerMode [3]int64
+	// Ratio is the live (Tog+W)/Tog estimate (+Inf before any sample).
+	Ratio float64
+	// PadK is the padding factor the live epoch runs under (1 = none).
+	PadK int
+}
+
+// pad64 is an atomic counter on its own cache line.
+type pad64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// epoch is the immutable state tokens read through the gate: the regime,
+// the value base, and the backend serving it. A new epoch is installed
+// only at a drained boundary, so its fields never change while visible.
+type epoch struct {
+	id   uint64
+	mode Mode
+	base int64 // values handed out before this epoch
+	strt int64 // backend cumulative issue count at epoch start
+	net  *shm.Network
+	padK int // Corollary 3.12 factor of net (1 = unpadded)
+}
+
+// Counter is the adaptive front-end. Safe for concurrent use by any
+// number of goroutines.
+type Counter struct {
+	gate     atomic.Int64 // seqlock: even = open, odd = switching
+	cur      atomic.Pointer[epoch]
+	inflight [stripes]pad64
+
+	direct pad64 // the ModeDirect backend's cumulative sequence
+	net    *shm.Network
+	funnel *combine.Funnel
+	opts   Options
+
+	// Sampled-token accumulators feeding the controller; reset each
+	// window under ctlMu.
+	occSum atomic.Int64
+	occN   atomic.Int64
+	ratio  *obs.Ratio //countnet:allow obsvet -- never nil; New substitutes an unregistered estimator
+
+	// Controller state, all under ctlMu.
+	ctlMu     sync.Mutex
+	want      Mode // regime the last disagreeing window voted for
+	agree     int  // consecutive windows voting for want
+	lastRaces int64
+	lastToks  int64
+
+	// Switch state under switchMu: padded-network cache and the epoch
+	// log.
+	switchMu sync.Mutex
+	padded   map[int]*shm.Network
+	epochs   []EpochStat
+	switches atomic.Int64
+
+	// Registry gauges; never nil — New substitutes unregistered no-ops.
+	modeGauge  *obs.Gauge //countnet:allow obsvet -- never nil; New substitutes an unregistered no-op
+	epochGauge *obs.Gauge //countnet:allow obsvet -- never nil; New substitutes an unregistered no-op
+}
+
+// New returns an adaptive counter over the compiled network. The network
+// is the high-contention backend and the funnel's downstream; the direct
+// counter and any Corollary 3.12 padded variants are created internally.
+// The counter starts in ModeDirect (an empty counter has no contention).
+func New(n *shm.Network, opts Options) (*Counter, error) {
+	if n == nil {
+		return nil, fmt.Errorf("adaptive: nil network")
+	}
+	if opts.Kind == 0 {
+		opts.Kind = shm.KindMCS
+	}
+	if opts.Window <= 0 {
+		opts.Window = DefaultWindow
+	}
+	if opts.Hold <= 0 {
+		opts.Hold = DefaultHold
+	}
+	if opts.DirectMax <= 0 {
+		opts.DirectMax = DefaultDirectMax
+	}
+	if opts.CombineMax <= opts.DirectMax {
+		opts.CombineMax = DefaultCombineMax
+		if opts.CombineMax <= opts.DirectMax {
+			opts.CombineMax = 2 * opts.DirectMax
+		}
+	}
+	if opts.RaceMax <= 0 {
+		opts.RaceMax = DefaultRaceMax
+	}
+	if opts.MaxPadK < 2 {
+		opts.MaxPadK = DefaultMaxPadK
+	}
+	c := &Counter{
+		net:    n,
+		opts:   opts,
+		padded: map[int]*shm.Network{1: n},
+		funnel: combine.New(combine.Options{
+			Width:   opts.CombineWidth,
+			Window:  opts.CombineWindow,
+			Metrics: opts.Metrics,
+		}),
+	}
+	if reg := opts.Metrics; reg != nil {
+		c.ratio = reg.Ratio("shm_adaptive_c2c1", opts.EffWait)
+		c.modeGauge = reg.Gauge("shm_adaptive_mode")
+		c.epochGauge = reg.Gauge("shm_adaptive_epoch")
+		reg.GaugeFunc("shm_adaptive_switches_total", func() float64 {
+			return float64(c.switches.Load())
+		})
+		reg.GaugeFunc("shm_adaptive_occupancy", func() float64 {
+			return float64(c.census())
+		})
+	} else {
+		c.ratio = obs.NewRatio(opts.EffWait)
+		c.modeGauge = &obs.Gauge{}
+		c.epochGauge = &obs.Gauge{}
+	}
+	c.cur.Store(&epoch{mode: ModeDirect, padK: 1})
+	return c, nil
+}
+
+// Mode returns the current regime.
+func (c *Counter) Mode() Mode { return c.cur.Load().mode }
+
+// Epoch returns the current epoch number.
+func (c *Counter) Epoch() uint64 { return c.cur.Load().id }
+
+// Ratio returns the live (Tog+W)/Tog estimator.
+func (c *Counter) Ratio() *obs.Ratio { return c.ratio }
+
+// Next draws the next counter value. input selects the network input wire
+// used in the network regimes; proc identifies the calling worker (it
+// stripes the in-flight census and trace identities) and tok its
+// operation index; afterNode is the paper's W-delay injection hook,
+// invoked once per visited node (once, with node -1, in ModeDirect, which
+// has a single logical node).
+func (c *Counter) Next(input int, proc, tok int32, afterNode func(id topo.NodeID)) int64 {
+	slot, ep := c.enter(proc)
+	sampled := (uint32(proc)*0x9e3779b9+uint32(tok))&(1<<sampleShift-1) == 0
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
+	raw := c.dispatch(ep, input, proc, tok, afterNode)
+	if sampled {
+		c.sample(ep, time.Since(t0))
+	}
+	c.inflight[slot].v.Add(-1)
+	if sampled && c.occN.Load() >= c.windowSamples() {
+		c.control()
+	}
+	return ep.base + raw - ep.strt
+}
+
+// enter passes the epoch gate: it registers the token in the striped
+// in-flight census and returns the stripe index plus the epoch the token
+// runs in. Entry is optimistic — increment first, then check the gate —
+// so the common open-gate path is one RMW and one load. With
+// sequentially consistent atomics, either the switcher's drain scan sees
+// the increment (and waits for the token), or the gate check sees the
+// odd gate (and the token backs out). Either way no token runs in a
+// retired epoch. While a switch holds the gate closed, the retry loop
+// checks the gate before touching the census again so the drain scan
+// converges.
+func (c *Counter) enter(proc int32) (int, *epoch) {
+	slot := int(uint32(proc) % stripes)
+	c.inflight[slot].v.Add(1)
+	if c.gate.Load()&1 == 0 {
+		return slot, c.cur.Load()
+	}
+	c.inflight[slot].v.Add(-1)
+	var bo backoff.Backoff
+	for {
+		bo.Wait()
+		if c.gate.Load()&1 == 0 {
+			c.inflight[slot].v.Add(1)
+			if c.gate.Load()&1 == 0 {
+				return slot, c.cur.Load()
+			}
+			c.inflight[slot].v.Add(-1)
+		}
+	}
+}
+
+// dispatch routes one token through the epoch's structure and returns the
+// backend's raw sequence value.
+func (c *Counter) dispatch(ep *epoch, input int, proc, tok int32, afterNode func(id topo.NodeID)) int64 {
+	switch ep.mode {
+	case ModeDirect:
+		v := c.direct.v.Add(1) - 1
+		if afterNode != nil {
+			afterNode(-1)
+		}
+		return v
+	case ModeCombine:
+		return c.funnel.Do(1, func(demand int) []int64 {
+			return ep.net.TraverseBatch(input, demand, proc, tok, afterNode)
+		})[0]
+	default:
+		return ep.net.TraverseObs(input, proc, tok, afterNode)
+	}
+}
+
+// sample folds one timed token into the controller's accumulators: the
+// per-node wait into the (Tog+W)/Tog estimator and the instantaneous
+// census into the occupancy average. Combine-mode samples include the
+// funnel rendezvous, so the estimate is an upper bound there — it can
+// only pad earlier than strictly necessary, never later.
+func (c *Counter) sample(ep *epoch, d time.Duration) {
+	nodes := int64(1)
+	if ep.mode != ModeDirect {
+		nodes = int64(ep.net.Graph().Depth()) + 1
+	}
+	c.ratio.Observe(d.Nanoseconds() / nodes)
+	c.occSum.Add(c.census())
+	c.occN.Add(1)
+}
+
+// census sums the striped in-flight counters. The value is approximate
+// under concurrent traffic, which is all the controller needs.
+func (c *Counter) census() int64 {
+	var n int64
+	for i := range c.inflight {
+		n += c.inflight[i].v.Load()
+	}
+	return n
+}
+
+// windowSamples converts the configured token window into a sampled-token
+// quota.
+func (c *Counter) windowSamples() int64 {
+	n := int64(c.opts.Window >> sampleShift)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// backendTotal returns the cumulative issue count of the epoch's backend:
+// the direct counter's value, or the sum of the backend network's output
+// counters. Exact only at a drained boundary, which is the only place the
+// switcher reads it.
+func (c *Counter) backendTotal(ep *epoch) int64 {
+	if ep.mode == ModeDirect {
+		return c.direct.v.Load()
+	}
+	return netTotal(ep.net)
+}
+
+// netTotal sums a network's output counters: its cumulative issue count.
+func netTotal(n *shm.Network) int64 {
+	var t int64
+	for _, v := range n.CounterCounts() {
+		t += v
+	}
+	return t
+}
+
+// Stats returns a live snapshot. The per-mode tallies attribute the live
+// epoch's tokens by its backend total, so they are exact at quiescence.
+func (c *Counter) Stats() Stats {
+	c.switchMu.Lock()
+	defer c.switchMu.Unlock()
+	ep := c.cur.Load()
+	live := c.backendTotal(ep) - ep.strt
+	s := Stats{
+		Tokens:   ep.base + live,
+		Mode:     ep.mode,
+		Epoch:    ep.id,
+		Switches: c.switches.Load(),
+		Ratio:    c.ratio.Value(),
+		PadK:     ep.padK,
+	}
+	for _, e := range c.epochs {
+		s.PerMode[e.Mode] += e.Tokens
+	}
+	s.PerMode[ep.mode] += live
+	return s
+}
+
+// Epochs returns the closed epochs' accounting records. The live epoch is
+// not included; roll it with SwitchTo first when a complete log is
+// needed.
+func (c *Counter) Epochs() []EpochStat {
+	c.switchMu.Lock()
+	defer c.switchMu.Unlock()
+	return append([]EpochStat(nil), c.epochs...)
+}
+
+// SwitchTo forces a drain-then-switch transition into the given mode,
+// rolling the accounting epoch even when the mode is unchanged (which
+// makes it double as a drain point for tests and shutdown accounting).
+// It must not be called from inside a Next invocation on the same
+// goroutine — the drain would wait for the caller's own census entry.
+func (c *Counter) SwitchTo(m Mode) error {
+	if m < ModeDirect || m > ModeNetwork {
+		return fmt.Errorf("adaptive: unknown mode %d", int32(m))
+	}
+	c.switchMu.Lock()
+	defer c.switchMu.Unlock()
+	c.switchLocked(m)
+	return nil
+}
+
+// switchLocked executes the drain-then-switch protocol. Caller holds
+// switchMu.
+func (c *Counter) switchLocked(m Mode) {
+	old := c.cur.Load()
+	c.gate.Add(1) // even -> odd: close the gate
+	var bo backoff.Backoff
+	for c.census() > 0 {
+		bo.Wait()
+	}
+	// Drained: every token that entered epoch `old` has exited, so the
+	// backend totals are exact and the step property holds on every
+	// structure.
+	issued := c.backendTotal(old) - old.strt
+	c.epochs = append(c.epochs, EpochStat{
+		Epoch: old.id, Mode: old.mode, Tokens: issued, PadK: old.padK,
+	})
+	next := &epoch{
+		id:   old.id + 1,
+		mode: m,
+		base: old.base + issued,
+		padK: 1,
+	}
+	if m != ModeDirect {
+		next.net, next.padK = c.pickNet()
+		next.strt = netTotal(next.net)
+	} else {
+		next.strt = c.direct.v.Load()
+	}
+	c.cur.Store(next)
+	if old.mode != m {
+		c.switches.Add(1)
+	}
+	c.modeGauge.Set(int64(m))
+	c.epochGauge.Set(int64(next.id))
+	c.gate.Add(1) // odd -> next even: reopen
+}
+
+// pickNet selects the network the next epoch traverses: the plain one,
+// or — under the Linearizable option when the measured ratio implies
+// k > 2 — the Corollary 3.12 padded variant for the smallest k covering
+// the estimate, compiled once and cached. Compile failures fall back to
+// the plain network (padding is an optimization of the guarantee, never
+// of correctness).
+func (c *Counter) pickNet() (*shm.Network, int) {
+	k := c.padK()
+	if n, ok := c.padded[k]; ok {
+		return n, k
+	}
+	g := c.net.Graph()
+	padded, err := topo.Pad(g, core.PaddingLength(g.Depth(), k))
+	if err != nil {
+		c.padded[k] = c.net
+		return c.net, 1
+	}
+	n, err := shm.Compile(padded, shm.Options{Kind: c.opts.Kind})
+	if err != nil {
+		c.padded[k] = c.net
+		return c.net, 1
+	}
+	c.padded[k] = n
+	return n, k
+}
+
+// padK returns the Corollary 3.12 factor implied by the live ratio
+// estimate: the smallest integer k with ratio <= k, clamped to
+// [1, MaxPadK]; 1 (no padding) unless the Linearizable option is set and
+// the estimate implies k > 2.
+func (c *Counter) padK() int {
+	if !c.opts.Linearizable {
+		return 1
+	}
+	r := c.ratio.Value()
+	if math.IsInf(r, 1) || math.IsNaN(r) || r <= 2 {
+		return 1
+	}
+	k := int(math.Ceil(r))
+	if k > c.opts.MaxPadK {
+		k = c.opts.MaxPadK
+	}
+	if k <= 2 {
+		return 1
+	}
+	return k
+}

@@ -1,0 +1,495 @@
+package adaptive_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"countnet/internal/bitonic"
+	"countnet/internal/lincheck"
+	"countnet/internal/obs"
+	"countnet/internal/shm"
+	"countnet/internal/shm/adaptive"
+	"countnet/internal/topo"
+)
+
+// matrixWidths is the width axis of the switch-boundary property tests:
+// every power of two from the degenerate single-counter network up to
+// twice the paper's width.
+var matrixWidths = []int{1, 2, 4, 8, 16, 32, 64}
+
+// buildGraph returns a counting network of the given width: the
+// hand-built pass-through graph for width 1 (which the bitonic
+// constructor rejects) and Bitonic[w] otherwise.
+func buildGraph(t *testing.T, width int) *topo.Graph {
+	t.Helper()
+	if width == 1 {
+		b := topo.NewBuilder()
+		ins := b.Inputs(1)
+		out := b.Balancer11(ins[0])
+		b.Terminate([]topo.Out{out})
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	g, err := bitonic.New(width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// newCounter compiles the width's network and wraps it in an adaptive
+// counter with the given options.
+func newCounter(t *testing.T, width int, opts adaptive.Options) *adaptive.Counter {
+	t.Helper()
+	n, err := shm.Compile(buildGraph(t, width), shm.Options{Kind: shm.KindMCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := adaptive.New(n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// checkValues asserts the run handed out exactly 0..n-1 (the gap
+// property) and that the per-output tallies implied by value mod width
+// are exactly the step-property counts (the step property) — the two
+// invariants no mode switch may ever disturb.
+func checkValues(t *testing.T, vals []int64, width int) {
+	t.Helper()
+	seen := make([]bool, len(vals))
+	tallies := make([]int64, width)
+	for _, v := range vals {
+		if v < 0 || v >= int64(len(vals)) || seen[v] {
+			t.Fatalf("value %d duplicated or out of range [0,%d)", v, len(vals))
+		}
+		seen[v] = true
+		tallies[int(v)%width]++
+	}
+	want := topo.StepCounts(int64(len(vals)), width)
+	for i := range tallies {
+		if tallies[i] != want[i] {
+			t.Fatalf("output tallies %v != step counts %v", tallies, want)
+		}
+	}
+	if !topo.StepPropertyHolds(tallies) {
+		t.Fatalf("output tallies %v violate the step property", tallies)
+	}
+}
+
+// checkConservation rolls the live epoch closed and asserts the epoch
+// log accounts for every token exactly once.
+func checkConservation(t *testing.T, c *adaptive.Counter, total int64) {
+	t.Helper()
+	if err := c.SwitchTo(c.Mode()); err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, e := range c.Epochs() {
+		if e.Tokens < 0 {
+			t.Fatalf("epoch %d issued %d tokens", e.Epoch, e.Tokens)
+		}
+		sum += e.Tokens
+	}
+	if sum != total {
+		t.Fatalf("epoch log accounts for %d of %d tokens: %+v", sum, total, c.Epochs())
+	}
+	if st := c.Stats(); st.Tokens != total {
+		t.Fatalf("Stats.Tokens = %d, issued %d", st.Tokens, total)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[adaptive.Mode]string{
+		adaptive.ModeDirect:  "direct",
+		adaptive.ModeCombine: "combine",
+		adaptive.ModeNetwork: "network",
+		adaptive.Mode(9):     "mode(9)",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int32(m), got, want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := adaptive.New(nil, adaptive.Options{}); err == nil {
+		t.Error("nil network accepted")
+	}
+	c := newCounter(t, 2, adaptive.Options{})
+	if err := c.SwitchTo(adaptive.Mode(7)); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if c.Mode() != adaptive.ModeDirect {
+		t.Errorf("fresh counter in mode %v, want direct", c.Mode())
+	}
+}
+
+// TestQuiescentSwitchMatrix walks every width through a full rotation of
+// quiescent mode switches — each switch happens with no token in flight
+// — and asserts the values issued across all regimes still form one
+// gapless step-property sequence, with the epoch log conserving every
+// token.
+func TestQuiescentSwitchMatrix(t *testing.T) {
+	rotation := []adaptive.Mode{
+		adaptive.ModeCombine, adaptive.ModeNetwork, adaptive.ModeDirect,
+		adaptive.ModeNetwork, adaptive.ModeCombine, adaptive.ModeDirect,
+	}
+	for _, width := range matrixWidths {
+		t.Run(fmt.Sprintf("w%d", width), func(t *testing.T) {
+			c := newCounter(t, width, adaptive.Options{})
+			per := 3*width + 5
+			var vals []int64
+			var tok int32
+			for phase := 0; phase <= len(rotation); phase++ {
+				for i := 0; i < per; i++ {
+					vals = append(vals, c.Next(int(tok)%width, 0, tok, nil))
+					tok++
+				}
+				if phase < len(rotation) {
+					if err := c.SwitchTo(rotation[phase]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			checkValues(t, vals, width)
+			checkConservation(t, c, int64(len(vals)))
+			if st := c.Stats(); st.Switches < int64(len(rotation)) {
+				t.Errorf("forced %d switches, counted %d", len(rotation), st.Switches)
+			}
+		})
+	}
+}
+
+// TestConcurrentSwitchMatrix forces mode switches while worker
+// goroutines are drawing values: the drain-then-switch gate must make
+// every transition invisible — no duplicate, no gap, no step-property
+// breach — at every width.
+func TestConcurrentSwitchMatrix(t *testing.T) {
+	rotation := []adaptive.Mode{
+		adaptive.ModeCombine, adaptive.ModeNetwork, adaptive.ModeDirect,
+	}
+	for _, width := range matrixWidths {
+		t.Run(fmt.Sprintf("w%d", width), func(t *testing.T) {
+			c := newCounter(t, width, adaptive.Options{
+				CombineWindow: 50 * time.Microsecond,
+			})
+			const workers = 8
+			const per = 64
+			vals := make([]int64, workers*per)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						tok := int32(w*per + i)
+						vals[tok] = c.Next(w%width, int32(w), tok, nil)
+					}
+				}(w)
+			}
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					checkValues(t, vals, width)
+					checkConservation(t, c, workers*per)
+					return
+				default:
+					if err := c.SwitchTo(rotation[i%len(rotation)]); err != nil {
+						t.Error(err)
+					}
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+		})
+	}
+}
+
+// TestSwitchStorm oscillates the regime as fast as the drain protocol
+// allows — back-to-back forced switches with zero settle time — under
+// concurrent load. The storm is the adversarial schedule for the epoch
+// gate: every entry races a closing or reopening gate.
+func TestSwitchStorm(t *testing.T) {
+	const width = 4
+	c := newCounter(t, width, adaptive.Options{
+		CombineWindow: 20 * time.Microsecond,
+	})
+	const workers = 4
+	const per = 128
+	vals := make([]int64, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tok := int32(w*per + i)
+				vals[tok] = c.Next(w%width, int32(w), tok, nil)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	storms := 0
+storm:
+	for {
+		for _, m := range []adaptive.Mode{
+			adaptive.ModeNetwork, adaptive.ModeDirect, adaptive.ModeCombine,
+		} {
+			select {
+			case <-done:
+				break storm
+			default:
+				if err := c.SwitchTo(m); err != nil {
+					t.Error(err)
+				}
+				storms++
+			}
+		}
+	}
+	checkValues(t, vals, width)
+	checkConservation(t, c, workers*per)
+	t.Logf("survived %d forced switches", storms)
+}
+
+// TestLinearizablePadding drives the ratio estimator to a known value
+// and checks the Corollary 3.12 decision: k = ceil(ratio) prefix padding
+// above 2, clamped at MaxPadK, none at or below 2 — and that counting
+// across padded and unpadded epochs stays exact.
+func TestLinearizablePadding(t *testing.T) {
+	t.Run("k4", func(t *testing.T) {
+		c := newCounter(t, 4, adaptive.Options{Linearizable: true, EffWait: 3000})
+		c.Ratio().Observe(1000) // (1000+3000)/1000 = 4
+		if err := c.SwitchTo(adaptive.ModeNetwork); err != nil {
+			t.Fatal(err)
+		}
+		if st := c.Stats(); st.PadK != 4 {
+			t.Fatalf("ratio 4 gave padding k=%d, want 4", st.PadK)
+		}
+		var vals []int64
+		for tok := int32(0); tok < 64; tok++ {
+			vals = append(vals, c.Next(int(tok)%4, 0, tok, nil))
+		}
+		if err := c.SwitchTo(adaptive.ModeDirect); err != nil {
+			t.Fatal(err)
+		}
+		for tok := int32(64); tok < 128; tok++ {
+			vals = append(vals, c.Next(int(tok)%4, 0, tok, nil))
+		}
+		checkValues(t, vals, 4)
+		checkConservation(t, c, int64(len(vals)))
+	})
+	t.Run("clamped", func(t *testing.T) {
+		c := newCounter(t, 2, adaptive.Options{Linearizable: true, EffWait: 1e9})
+		c.Ratio().Observe(1) // ratio ~1e9: must clamp at MaxPadK
+		if err := c.SwitchTo(adaptive.ModeNetwork); err != nil {
+			t.Fatal(err)
+		}
+		if st := c.Stats(); st.PadK != adaptive.DefaultMaxPadK {
+			t.Fatalf("huge ratio gave k=%d, want clamp %d", st.PadK, adaptive.DefaultMaxPadK)
+		}
+	})
+	t.Run("under-threshold", func(t *testing.T) {
+		c := newCounter(t, 2, adaptive.Options{Linearizable: true, EffWait: 500})
+		c.Ratio().Observe(1000) // ratio 1.5 <= 2: Corollary 3.9 already applies
+		if err := c.SwitchTo(adaptive.ModeNetwork); err != nil {
+			t.Fatal(err)
+		}
+		if st := c.Stats(); st.PadK != 1 {
+			t.Fatalf("ratio 1.5 gave k=%d, want 1 (unpadded)", st.PadK)
+		}
+	})
+	t.Run("off-by-default", func(t *testing.T) {
+		c := newCounter(t, 2, adaptive.Options{EffWait: 1e9})
+		c.Ratio().Observe(1)
+		if err := c.SwitchTo(adaptive.ModeNetwork); err != nil {
+			t.Fatal(err)
+		}
+		if st := c.Stats(); st.PadK != 1 {
+			t.Fatalf("Linearizable off but k=%d", st.PadK)
+		}
+	})
+}
+
+// TestControllerEscalates runs enough concurrent load over tiny
+// thresholds that the hysteretic controller should escalate away from
+// the direct counter on its own. Scheduling noise can in principle keep
+// the sampled occupancy low, so the assertion is strict only under
+// COUNTNET_STRICT_TIMING (the PR-5 convention); the permutation checks
+// are unconditional.
+func TestControllerEscalates(t *testing.T) {
+	const width = 4
+	c := newCounter(t, width, adaptive.Options{
+		Window: 64, Hold: 1, DirectMax: 2, CombineMax: 6,
+		CombineWindow: 20 * time.Microsecond,
+	})
+	const workers = 16
+	const per = 256
+	vals := make([]int64, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hold := func(topo.NodeID) { time.Sleep(2 * time.Microsecond) }
+			for i := 0; i < per; i++ {
+				tok := int32(w*per + i)
+				vals[tok] = c.Next(w%width, int32(w), tok, hold)
+			}
+		}(w)
+	}
+	wg.Wait()
+	checkValues(t, vals, width)
+	checkConservation(t, c, workers*per)
+	st := c.Stats()
+	t.Logf("controller: %d switches, per-mode tokens %v, ratio %.2f",
+		st.Switches, st.PerMode, st.Ratio)
+	if st.Switches == 0 {
+		if os.Getenv("COUNTNET_STRICT_TIMING") == "" {
+			t.Log("controller never escalated (scheduling-dependent); set COUNTNET_STRICT_TIMING=1 to enforce")
+			return
+		}
+		t.Error("16 workers over DirectMax=2 never escalated")
+	}
+}
+
+// TestStatsPartition checks the per-mode tally partition: every issued
+// token is attributed to exactly one regime.
+func TestStatsPartition(t *testing.T) {
+	c := newCounter(t, 4, adaptive.Options{})
+	var tok int32
+	for _, m := range []adaptive.Mode{
+		adaptive.ModeDirect, adaptive.ModeCombine, adaptive.ModeNetwork,
+	} {
+		if err := c.SwitchTo(m); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			c.Next(int(tok)%4, 0, tok, nil)
+			tok++
+		}
+	}
+	st := c.Stats()
+	if got := st.PerMode[0] + st.PerMode[1] + st.PerMode[2]; got != st.Tokens || st.Tokens != int64(tok) {
+		t.Fatalf("per-mode partition %v sums to %d, issued %d", st.PerMode, got, tok)
+	}
+	for m, n := range st.PerMode {
+		if n != 40 {
+			t.Errorf("mode %v served %d tokens, want 40", adaptive.Mode(m), n)
+		}
+	}
+}
+
+// TestAdaptiveStressMatrix is the lincheck stress-matrix entry for the
+// adaptive engine: the full stress driver routes every operation through
+// the Front seam while the controller runs free, over a width × worker
+// grid. Linearizability violations are allowed — with injected delays
+// they are the paper's expected behaviour — but the permutation must be
+// exact. A flight recorder rides along as the run's tracer; a breach
+// trips it, so violations produce flight-recorder dumps like the other
+// engines' harnesses.
+func TestAdaptiveStressMatrix(t *testing.T) {
+	for _, width := range []int{1, 2, 8} {
+		for _, procs := range []int{4, 32, 128} {
+			t.Run(fmt.Sprintf("w%d/p%d", width, procs), func(t *testing.T) {
+				n, err := shm.Compile(buildGraph(t, width), shm.Options{Kind: shm.KindMCS})
+				if err != nil {
+					t.Fatal(err)
+				}
+				front, err := adaptive.New(n, adaptive.Options{
+					Window: 128, Hold: 1,
+					CombineWindow: 50 * time.Microsecond,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ops := 4 * procs
+				if ops < 256 {
+					ops = 256
+				}
+				flight := obs.NewFlight(obs.Meta{
+					Engine: "shm-adaptive", Unit: "ns", Width: width,
+				}, procs, 64)
+				flight.SetAutoDump(filepath.Join(t.TempDir(), "adaptive.flight.jsonl"))
+				res, err := shm.Stress(shm.StressConfig{
+					Net: n, Workers: procs, Ops: ops, Seed: int64(width*1000 + procs),
+					DelayedFrac: 0.25, Delay: 20 * time.Microsecond,
+					Front:  front,
+					Tracer: flight,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				seen := make([]bool, ops)
+				for _, op := range res.Ops {
+					if op.Value < 0 || op.Value >= int64(ops) || seen[op.Value] {
+						if w, ok := lincheck.FirstWitness(res.Ops); ok {
+							t.Logf("first inversion witness: %s", w)
+						}
+						if path, _ := flight.Trip("adaptive-violation"); path != "" {
+							t.Logf("flight dump written to %s", path)
+						}
+						t.Fatalf("value %d duplicated or out of range [0,%d)", op.Value, ops)
+					}
+					seen[op.Value] = true
+				}
+				st := front.Stats()
+				if st.Tokens != int64(ops) {
+					t.Fatalf("front served %d tokens, ran %d ops", st.Tokens, ops)
+				}
+			})
+		}
+	}
+}
+
+// TestAdaptiveQuiescentLinearizable checks the sequential guarantee: a
+// single undelayed worker never leaves the direct counter, and the run
+// is fully linearizable.
+func TestAdaptiveQuiescentLinearizable(t *testing.T) {
+	n, err := shm.Compile(buildGraph(t, 4), shm.Options{Kind: shm.KindMCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := adaptive.New(n, adaptive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := shm.Stress(shm.StressConfig{Net: n, Workers: 1, Ops: 500, Seed: 3, Front: front})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Linearizable() {
+		t.Fatalf("sequential adaptive run not linearizable: %s", res.Report)
+	}
+	if m := front.Mode(); m != adaptive.ModeDirect {
+		t.Errorf("single undelayed worker escalated to %v", m)
+	}
+}
+
+// TestFrontCombineExclusive checks the driver-level guard: the Front
+// seam and the inline funnel cannot both be configured.
+func TestFrontCombineExclusive(t *testing.T) {
+	n, err := shm.Compile(buildGraph(t, 2), shm.Options{Kind: shm.KindMCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := adaptive.New(n, adaptive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shm.Stress(shm.StressConfig{
+		Net: n, Workers: 1, Ops: 10, Front: front, Combine: true,
+	}); err == nil {
+		t.Fatal("Front+Combine accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package adaptive_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"countnet/internal/bitonic"
+	"countnet/internal/shm"
+	"countnet/internal/shm/adaptive"
+	"countnet/internal/topo"
+)
+
+// directFront is the static low-contention baseline: a single padded
+// fetch-and-add counter behind the shm.Front seam, i.e. exactly what the
+// adaptive counter's ModeDirect dispatch does but with no epoch gate, no
+// sampling, and no controller. The gap between this row and the adaptive
+// direct-regime row is therefore the full price of adaptivity.
+type directFront struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+func (d *directFront) Next(input int, proc, tok int32, afterNode func(id topo.NodeID)) int64 {
+	v := d.v.Add(1) - 1
+	if afterNode != nil {
+		afterNode(topo.NodeID(-1))
+	}
+	return v
+}
+
+// BenchmarkAdaptive is the crossover sweep behind BENCH_adaptive.json
+// (EXPERIMENTS.md E25): the same fixed workload — 4096 tokens through a
+// width-8 bitonic network — driven by worker counts from 1 to 256
+// through each static backend (direct fetch-add, combining funnel, full
+// network) and through the adaptive front-end, all via the identical
+// shm.Stress driver. The acceptance bar is that at every worker count
+// the adaptive row lands within 10% of the best static row: it should
+// pay only its sampling/gate overhead at 1 worker and track whichever
+// backend wins as contention grows.
+func BenchmarkAdaptive(b *testing.B) {
+	g, err := bitonic.New(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const ops = 4096
+	engines := []string{"direct", "combine", "network", "adaptive"}
+	for _, workers := range []int{1, 8, 32, 128, 256} {
+		for _, eng := range engines {
+			b.Run(fmt.Sprintf("%s/p%d", eng, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					n, err := shm.Compile(g, shm.Options{Kind: shm.KindMCS})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg := shm.StressConfig{Net: n, Workers: workers, Ops: ops, Seed: 1}
+					switch eng {
+					case "direct":
+						cfg.Front = &directFront{}
+					case "combine":
+						cfg.Combine = true
+						cfg.CombineWidth = 32
+						cfg.CombineWindow = 20 * time.Microsecond
+					case "adaptive":
+						front, err := adaptive.New(n, adaptive.Options{
+							CombineWindow: 20 * time.Microsecond,
+							EffWait:       cfg.EffWait(),
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						cfg.Front = front
+					}
+					b.StartTimer()
+					res, err := shm.Stress(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(res.Throughput, "walkops/s")
+				}
+			})
+		}
+	}
+}

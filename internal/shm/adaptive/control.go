@@ -1,0 +1,99 @@
+// The hysteretic regime controller. It runs on whichever worker
+// goroutine happens to close a sampling window (there is no background
+// thread — an idle counter makes no decisions), reads the window's mean
+// occupancy plus the funnel's CAS-failure rate, votes for a regime, and
+// only executes a drain-then-switch once Hold consecutive windows have
+// cast the same vote. Escalation and de-escalation use different
+// thresholds (the de-escalation edge is half the escalation edge), so a
+// load sitting exactly on a boundary cannot make the counter flap.
+package adaptive
+
+// control closes one sampling window and maybe switches regime. Called
+// from Next after the triggering token has left the in-flight census —
+// never before, or the drain below would wait for the caller itself.
+// TryLock makes concurrent closers cheap: one worker arbitrates, the
+// rest go back to counting.
+func (c *Counter) control() {
+	if !c.ctlMu.TryLock() {
+		return
+	}
+	defer c.ctlMu.Unlock()
+	n := c.occN.Swap(0)
+	sum := c.occSum.Swap(0)
+	if n == 0 {
+		return
+	}
+	occ := float64(sum) / float64(n)
+	ep := c.cur.Load()
+	want := c.vote(ep.mode, occ)
+
+	// A same-mode vote normally resets the hysteresis run — except when
+	// the Linearizable option finds the live epoch's padding stale: a
+	// re-switch into the same mode is then a real transition (it rolls
+	// the epoch onto the freshly implied k) and earns the same
+	// hysteresis treatment as a mode change.
+	repad := want == ep.mode && ep.mode == ModeNetwork &&
+		c.opts.Linearizable && c.padK() != ep.padK
+	if want == ep.mode && !repad {
+		c.agree = 0
+		return
+	}
+	if want == c.want && c.agree > 0 {
+		c.agree++
+	} else {
+		c.want = want
+		c.agree = 1
+	}
+	if c.agree < c.opts.Hold {
+		return
+	}
+	c.agree = 0
+	c.switchMu.Lock()
+	defer c.switchMu.Unlock()
+	// Re-read under switchMu: a forced SwitchTo may have landed between
+	// the vote and here, and a stale transition must not undo it.
+	if cur := c.cur.Load(); cur.mode == ep.mode && cur.id == ep.id {
+		c.switchLocked(want)
+	}
+}
+
+// vote maps one window's signals to the regime the controller wants.
+// The ladder escalates on mean occupancy — DirectMax collisions justify
+// the funnel's rendezvous cost, CombineMax justify the network's depth —
+// and de-escalates only below half of each edge. In combine mode a
+// CAS-failure rate above RaceMax per token escalates regardless of
+// occupancy: losing that many claim races means the slots themselves
+// have become the hot spot the network exists to avoid.
+func (c *Counter) vote(mode Mode, occ float64) Mode {
+	if mode == ModeCombine && c.raceRate() > c.opts.RaceMax {
+		return ModeNetwork
+	}
+	switch {
+	case occ >= float64(c.opts.CombineMax):
+		return ModeNetwork
+	case occ >= float64(c.opts.DirectMax):
+		if mode == ModeNetwork && occ >= float64(c.opts.CombineMax)/2 {
+			return ModeNetwork // hysteresis band: not low enough to drop
+		}
+		return ModeCombine
+	case occ >= float64(c.opts.DirectMax)/2 && mode != ModeDirect:
+		return ModeCombine // hysteresis band: not low enough to go direct
+	default:
+		return ModeDirect
+	}
+}
+
+// raceRate returns the funnel's CAS failures per token since the last
+// call (0 when no tokens passed). Deltas, not totals: the controller
+// judges the window, not the counter's whole history.
+func (c *Counter) raceRate() float64 {
+	st := c.funnel.Stats()
+	dr := st.Races - c.lastRaces
+	dt := st.Tokens - c.lastToks
+	c.lastRaces = st.Races
+	c.lastToks = st.Tokens
+	if dt <= 0 {
+		return 0
+	}
+	return float64(dr) / float64(dt)
+}

@@ -1,0 +1,97 @@
+package adaptive_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"countnet/internal/bitonic"
+	"countnet/internal/shm"
+	"countnet/internal/shm/adaptive"
+)
+
+// FuzzAdaptiveSwitch fuzzes the epoch protocol with randomized arrival
+// bursts interleaved with forced regime flips: each input byte is either
+// a concurrent burst of 1..8 tokens or a forced drain-then-switch into a
+// fuzzer-chosen mode. After the schedule, the invariants that define the
+// adaptive counter must hold exactly — the issued values are the gapless
+// permutation 0..n-1 with step-property tallies, and the closed epoch
+// log conserves every token (each one attributed to exactly one epoch).
+//
+// Byte encoding: b < 0x80 issues a burst of (b&7)+1 tokens from distinct
+// goroutines; b >= 0x80 forces SwitchTo(b mod 3). Inputs are capped at
+// 48 actions to bound each case's goroutine count.
+func FuzzAdaptiveSwitch(f *testing.F) {
+	f.Add([]byte{0x07, 0x80, 0x07, 0x81, 0x07, 0x82, 0x07})
+	f.Add([]byte{0x00, 0x82, 0x00, 0x80, 0x00})
+	f.Add([]byte{0x81, 0x81, 0x81, 0x07, 0x07})
+	f.Add([]byte{0x07, 0x07, 0x07, 0x07, 0x07, 0x07})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		if len(data) > 48 {
+			data = data[:48]
+		}
+		const width = 4
+		g, err := bitonic.New(width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := shm.Compile(g, shm.Options{Kind: shm.KindMCS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := adaptive.New(n, adaptive.Options{
+			Window: 32, Hold: 1,
+			CombineWindow: 20 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vals []int64
+		for _, b := range data {
+			if b >= 0x80 {
+				if err := c.SwitchTo(adaptive.Mode(b % 3)); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			burst := int(b&7) + 1
+			out := make([]int64, burst)
+			var wg sync.WaitGroup
+			for i := 0; i < burst; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					tok := int32(len(vals) + i)
+					out[i] = c.Next(int(tok)%width, int32(i), tok, nil)
+				}(i)
+			}
+			wg.Wait()
+			vals = append(vals, out...)
+		}
+		// Roll the live epoch closed so the log covers the whole run,
+		// then check conservation and the permutation.
+		if err := c.SwitchTo(c.Mode()); err != nil {
+			t.Fatal(err)
+		}
+		var sum int64
+		for _, e := range c.Epochs() {
+			if e.Tokens < 0 {
+				t.Fatalf("epoch %d issued %d tokens", e.Epoch, e.Tokens)
+			}
+			sum += e.Tokens
+		}
+		if sum != int64(len(vals)) {
+			t.Fatalf("epoch log accounts for %d of %d tokens: %+v", sum, len(vals), c.Epochs())
+		}
+		seen := make([]bool, len(vals))
+		for _, v := range vals {
+			if v < 0 || v >= int64(len(vals)) || seen[v] {
+				t.Fatalf("value %d duplicated or out of range [0,%d)", v, len(vals))
+			}
+			seen[v] = true
+		}
+	})
+}

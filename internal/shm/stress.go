@@ -52,6 +52,13 @@ type StressConfig struct {
 	// CombineWindow is how long a token camps for a partner before
 	// traversing alone (default combine.DefaultWindow).
 	CombineWindow time.Duration
+	// Front, when non-nil, is a pluggable counting front-end the workers
+	// route every operation through instead of traversing Net directly
+	// (the contention-adaptive engine in internal/shm/adaptive is one).
+	// Net stays required: it is the front-end's backend and still
+	// supplies input width and observability. Mutually exclusive with
+	// Combine, which is a specific front-end wired inline.
+	Front Front
 	// Tracer, when non-nil, receives per-token enter/balancer/counter/exit
 	// events on the run's monotonic timeline.
 	Tracer obs.Tracer
@@ -59,6 +66,16 @@ type StressConfig struct {
 	// wait histogram, (Tog+W)/Tog ratio, per-balancer depth gauges, prism
 	// CAS retries).
 	Metrics *obs.Registry
+}
+
+// Front is a pluggable counting front-end for the stress driver: Next
+// draws one value for the token (proc, tok) entering at the given input
+// wire, invoking afterNode per visited node exactly like TraverseHook,
+// and the values handed out across a run must form the same gapless
+// sequence a direct traversal would produce. Defined here — not in the
+// front-end's own package — so shm never imports its front-ends.
+type Front interface {
+	Next(input int, proc, tok int32, afterNode func(id topo.NodeID)) int64
 }
 
 // EffWait returns the effective injected per-node delay in nanoseconds —
@@ -110,6 +127,9 @@ func Stress(cfg StressConfig) (*StressResult, error) {
 	}
 	if cfg.Delay < 0 {
 		return nil, fmt.Errorf("shm: negative delay")
+	}
+	if cfg.Front != nil && cfg.Combine {
+		return nil, fmt.Errorf("shm: Front and Combine are mutually exclusive")
 	}
 	rec := lincheck.NewRecorder(cfg.Ops)
 	var remaining atomic.Int64
@@ -174,6 +194,8 @@ func Stress(cfg StressConfig) (*StressResult, error) {
 				// funnel combiner traversed on its behalf.
 				last := parent
 				switch {
+				case cfg.Front != nil:
+					v = cfg.Front.Next(input, int32(wkr), tok, hook)
 				case funnel != nil:
 					v = funnel.Do(1, trav)[0]
 				case observed:

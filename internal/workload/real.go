@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"countnet/internal/shm"
+	"countnet/internal/shm/adaptive"
 )
 
 // RealSpec is the wall-clock, real-goroutine analogue of Spec: the same
@@ -29,6 +30,13 @@ type RealSpec struct {
 	Combine       bool
 	CombineWidth  int
 	CombineWindow time.Duration
+	// Adaptive routes tokens through the contention-adaptive front-end
+	// (internal/shm/adaptive), which switches between a direct counter,
+	// the combining funnel, and the full network as load changes.
+	// Mutually exclusive with Combine (the adaptive engine owns its own
+	// funnel). AdaptiveLinearizable enables its Corollary 3.12 padding.
+	Adaptive             bool
+	AdaptiveLinearizable bool
 }
 
 // String names the spec compactly.
@@ -42,6 +50,12 @@ func (s RealSpec) String() string {
 	}
 	if s.Combine {
 		tail += "/combine"
+	}
+	if s.Adaptive {
+		tail += "/adaptive"
+		if s.AdaptiveLinearizable {
+			tail += "+lin"
+		}
 	}
 	return fmt.Sprintf("%s%d/g=%d/W=%v/F=%.0f%%%s", s.Net, s.Width, s.Workers, s.Delay, 100*s.Frac, tail)
 }
@@ -60,7 +74,7 @@ func (s RealSpec) Run() (*shm.StressResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return shm.Stress(shm.StressConfig{
+	cfg := shm.StressConfig{
 		Net:           n,
 		Workers:       s.Workers,
 		Ops:           s.Ops,
@@ -72,7 +86,23 @@ func (s RealSpec) Run() (*shm.StressResult, error) {
 		Combine:       s.Combine,
 		CombineWidth:  s.CombineWidth,
 		CombineWindow: s.CombineWindow,
-	})
+	}
+	if s.Adaptive {
+		if s.Combine {
+			return nil, fmt.Errorf("workload: Adaptive and Combine are mutually exclusive")
+		}
+		front, err := adaptive.New(n, adaptive.Options{
+			Linearizable:  s.AdaptiveLinearizable,
+			CombineWidth:  s.CombineWidth,
+			CombineWindow: s.CombineWindow,
+			EffWait:       cfg.EffWait(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Front = front
+	}
+	return shm.Stress(cfg)
 }
 
 // RealGridWorkers is the goroutine-count axis of the real grid.
