@@ -122,7 +122,10 @@ type Options struct {
 	Hold int
 	// DirectMax and CombineMax are the escalation occupancy thresholds
 	// (defaults DefaultDirectMax, DefaultCombineMax); de-escalation uses
-	// half of each, so the two directions never share an edge.
+	// half of each, so the two directions never share an edge. An
+	// explicitly set CombineMax must exceed the (possibly defaulted)
+	// DirectMax or New rejects the pair; only the zero value takes the
+	// silent default.
 	DirectMax  int
 	CombineMax int
 	// RaceMax is the combine-mode CAS-failure-per-token escalation
@@ -255,11 +258,16 @@ func New(n *shm.Network, opts Options) (*Counter, error) {
 	if opts.DirectMax <= 0 {
 		opts.DirectMax = DefaultDirectMax
 	}
-	if opts.CombineMax <= opts.DirectMax {
+	if opts.CombineMax == 0 {
 		opts.CombineMax = DefaultCombineMax
 		if opts.CombineMax <= opts.DirectMax {
 			opts.CombineMax = 2 * opts.DirectMax
 		}
+	} else if opts.CombineMax <= opts.DirectMax {
+		// An explicit threshold pair that cannot order the ladder is a
+		// configuration bug; rewriting it silently would hide the mistake.
+		return nil, fmt.Errorf("adaptive: CombineMax (%d) must exceed DirectMax (%d)",
+			opts.CombineMax, opts.DirectMax)
 	}
 	if opts.RaceMax <= 0 {
 		opts.RaceMax = DefaultRaceMax
@@ -331,21 +339,24 @@ func (c *Counter) Next(input int, proc, tok int32, afterNode func(id topo.NodeID
 
 // enter passes the epoch gate: it registers the token in the striped
 // in-flight census and returns the stripe index plus the epoch the token
-// runs in. Entry is optimistic — increment first, then check the gate —
-// so the common open-gate path is one RMW and one load. With
-// sequentially consistent atomics, either the switcher's drain scan sees
-// the increment (and waits for the token), or the gate check sees the
-// odd gate (and the token backs out). Either way no token runs in a
-// retired epoch. While a switch holds the gate closed, the retry loop
-// checks the gate before touching the census again so the drain scan
-// converges.
+// runs in. The gate is checked before the census increment, so once a
+// switch has closed the gate, newly arriving tokens never touch the
+// census — only the bounded set already past their first gate check can
+// blip a stripe, which keeps the switcher's drain scan from being held
+// nonzero forever by sustained arrivals. The common open-gate path is
+// two loads and one RMW. With sequentially consistent atomics, either
+// the switcher's drain scan sees the increment (and waits for the
+// token), or the re-check after the increment sees the odd gate (and
+// the token backs out). Either way no token runs in a retired epoch.
 func (c *Counter) enter(proc int32) (int, *epoch) {
 	slot := int(uint32(proc) % stripes)
-	c.inflight[slot].v.Add(1)
 	if c.gate.Load()&1 == 0 {
-		return slot, c.cur.Load()
+		c.inflight[slot].v.Add(1)
+		if c.gate.Load()&1 == 0 {
+			return slot, c.cur.Load()
+		}
+		c.inflight[slot].v.Add(-1)
 	}
-	c.inflight[slot].v.Add(-1)
 	var bo backoff.Backoff
 	for {
 		bo.Wait()
@@ -380,15 +391,36 @@ func (c *Counter) dispatch(ep *epoch, input int, proc, tok int32, afterNode func
 
 // sample folds one timed token into the controller's accumulators: the
 // per-node wait into the (Tog+W)/Tog estimator and the instantaneous
-// census into the occupancy average. Combine-mode samples include the
-// funnel rendezvous, so the estimate is an upper bound there — it can
-// only pad earlier than strictly necessary, never later.
+// census into the occupancy average.
+//
+// The estimator wants the pure toggle wait Tog, but the dispatch latency
+// includes the injected W delay the workload adds at every visited node.
+// Feeding (Tog+W) in as Tog would clamp the measured ratio below
+// 1 + W/(Tog+W) < 2 and the Corollary 3.12 padding could never engage
+// from a real measurement, so the configured effective per-node W is
+// subtracted first. EffWait is the workload's *average* injected delay,
+// so the subtraction is exact in expectation across samples; the 1ns
+// floor keeps an undelayed sample from going negative (and keeps a
+// measured near-zero Tog distinct from "no observations yet", which
+// padK treats as no data). The floor can only raise the ratio, i.e. pad
+// earlier than strictly necessary, never later.
+//
+// Combine-mode latencies are dominated by the funnel rendezvous window,
+// not balancer waits — a waiting token never visits a balancer at all —
+// so they are excluded: folding them in would inflate Tog, deflate the
+// ratio, and delay padding the measurement does not justify.
 func (c *Counter) sample(ep *epoch, d time.Duration) {
-	nodes := int64(1)
-	if ep.mode != ModeDirect {
-		nodes = int64(ep.net.Graph().Depth()) + 1
+	if ep.mode != ModeCombine {
+		nodes := int64(1)
+		if ep.mode != ModeDirect {
+			nodes = int64(ep.net.Graph().Depth()) + 1
+		}
+		per := d.Nanoseconds()/nodes - int64(c.opts.EffWait)
+		if per < 1 {
+			per = 1
+		}
+		c.ratio.Observe(per)
 	}
-	c.ratio.Observe(d.Nanoseconds() / nodes)
 	c.occSum.Add(c.census())
 	c.occN.Add(1)
 }
@@ -502,7 +534,7 @@ func (c *Counter) switchLocked(m Mode) {
 		padK: 1,
 	}
 	if m != ModeDirect {
-		next.net, next.padK = c.pickNet()
+		next.net, next.padK = c.pickNet(m)
 		next.strt = netTotal(next.net)
 	} else {
 		next.strt = c.direct.v.Load()
@@ -517,13 +549,20 @@ func (c *Counter) switchLocked(m Mode) {
 }
 
 // pickNet selects the network the next epoch traverses: the plain one,
-// or — under the Linearizable option when the measured ratio implies
-// k > 2 — the Corollary 3.12 padded variant for the smallest k covering
-// the estimate, compiled once and cached. Compile failures fall back to
-// the plain network (padding is an optimization of the guarantee, never
-// of correctness).
-func (c *Counter) pickNet() (*shm.Network, int) {
-	k := c.padK()
+// or — for a ModeNetwork epoch under the Linearizable option when the
+// measured ratio implies k > 2 — the Corollary 3.12 padded variant for
+// the smallest k covering the estimate, compiled once and cached.
+// Combine epochs always get the plain network: padding applies to
+// network-mode traffic only (matching the Options.Linearizable contract
+// and control()'s repad check, which re-rolls only ModeNetwork epochs
+// when the estimate moves). Compile failures fall back to the plain
+// network (padding is an optimization of the guarantee, never of
+// correctness).
+func (c *Counter) pickNet(m Mode) (*shm.Network, int) {
+	k := 1
+	if m == ModeNetwork {
+		k = c.padK()
+	}
 	if n, ok := c.padded[k]; ok {
 		return n, k
 	}

@@ -131,6 +131,22 @@ func TestNewValidation(t *testing.T) {
 	if c.Mode() != adaptive.ModeDirect {
 		t.Errorf("fresh counter in mode %v, want direct", c.Mode())
 	}
+	n, err := shm.Compile(buildGraph(t, 2), shm.Options{Kind: shm.KindMCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An explicitly set CombineMax that cannot order the escalation
+	// ladder is rejected, not silently rewritten.
+	if _, err := adaptive.New(n, adaptive.Options{DirectMax: 8, CombineMax: 8}); err == nil {
+		t.Error("CombineMax == DirectMax accepted")
+	}
+	if _, err := adaptive.New(n, adaptive.Options{DirectMax: 8, CombineMax: 4}); err == nil {
+		t.Error("CombineMax < DirectMax accepted")
+	}
+	// Defaulted CombineMax still must exceed the explicit DirectMax.
+	if _, err := adaptive.New(n, adaptive.Options{DirectMax: 100}); err != nil {
+		t.Errorf("zero CombineMax with large DirectMax rejected: %v", err)
+	}
 }
 
 // TestQuiescentSwitchMatrix walks every width through a full rotation of
@@ -319,6 +335,56 @@ func TestLinearizablePadding(t *testing.T) {
 			t.Fatalf("Linearizable off but k=%d", st.PadK)
 		}
 	})
+	t.Run("combine-unpadded", func(t *testing.T) {
+		// Padding is a network-mode guarantee: a combine epoch runs the
+		// plain network even when the ratio implies k > 2.
+		c := newCounter(t, 2, adaptive.Options{Linearizable: true, EffWait: 1e9})
+		c.Ratio().Observe(1)
+		if err := c.SwitchTo(adaptive.ModeCombine); err != nil {
+			t.Fatal(err)
+		}
+		if st := c.Stats(); st.PadK != 1 {
+			t.Fatalf("combine epoch got padding k=%d, want 1", st.PadK)
+		}
+	})
+}
+
+// TestMeasuredRatioEngagesPadding drives the estimator through Next with
+// a real injected per-node delay W — no synthetic Observe calls — and
+// asserts the Corollary 3.12 padding actually engages. This is the
+// regression test for the estimator bias where sample() fed the full
+// dispatch latency (toggle wait plus injected W) into the estimator:
+// with Tog measured as T+W the ratio (Tog+W)/Tog stays below 2 by
+// construction and the Linearizable option could never pad from a real
+// measurement. W is chosen large against scheduling noise so the
+// residual after subtraction stays well under W and the ratio lands
+// far above the k = 2 threshold.
+func TestMeasuredRatioEngagesPadding(t *testing.T) {
+	const wait = 8 * time.Millisecond
+	c := newCounter(t, 2, adaptive.Options{
+		Linearizable: true,
+		EffWait:      float64(wait.Nanoseconds()),
+		Window:       1 << 20, // keep the controller out of the way
+	})
+	inject := func(topo.NodeID) { time.Sleep(wait) }
+	var vals []int64
+	for tok := int32(0); tok < 65; tok++ { // spans two sampled tokens
+		vals = append(vals, c.Next(int(tok)%2, 0, tok, inject))
+	}
+	if r := c.Ratio().Value(); r <= 2 {
+		t.Fatalf("measured ratio %.3f <= 2 with injected W=%v: estimator still counting W as Tog", r, wait)
+	}
+	if err := c.SwitchTo(adaptive.ModeNetwork); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.PadK <= 2 {
+		t.Fatalf("ratio %.3f implies k > 2 but network epoch got k=%d", st.Ratio, st.PadK)
+	}
+	for tok := int32(65); tok < 129; tok++ {
+		vals = append(vals, c.Next(int(tok)%2, 0, tok, nil))
+	}
+	checkValues(t, vals, 2)
+	checkConservation(t, c, int64(len(vals)))
 }
 
 // TestControllerEscalates runs enough concurrent load over tiny
