@@ -11,7 +11,7 @@ STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 LINT_STRICT ?=
 
-.PHONY: all build vet countnetvet lint test race chaos bench clean
+.PHONY: all build vet countnetvet escvet-selftest lint test race chaos bench clean
 
 all: lint build test
 
@@ -23,12 +23,33 @@ vet:
 
 # countnetvet runs the domain analyzers only (stock vet is the `vet`
 # target); `go run ./cmd/countnetvet` with no -novet runs both.
+# LINT_STRICT reaches escvet: without it, a toolchain that cannot
+# replay `go build -gcflags=-m` skips the allocation gate with a notice
+# instead of failing.
 countnetvet:
-	$(GO) run ./cmd/countnetvet -novet ./...
+	LINT_STRICT=$(LINT_STRICT) $(GO) run ./cmd/countnetvet -novet ./...
+
+# escvet-selftest proves the allocation gate has teeth before a clean
+# run is trusted: the seeded escape regression in the analyzer's own
+# testdata must produce an escvet finding. When the toolchain cannot
+# produce -m output the gate is off anyway (countnetvet said so above)
+# and the self-test reports the skip; LINT_STRICT=1 already made that
+# skip fatal in the countnetvet target.
+escvet-selftest:
+	@out=$$(LINT_STRICT=$(LINT_STRICT) $(GO) run ./cmd/countnetvet -novet ./internal/analysis/testdata/src/escvet 2>&1); \
+	if echo "$$out" | grep -q '\[escvet\]'; then \
+		echo "escvet self-test: seeded escape regression caught"; \
+	elif echo "$$out" | grep -q 'escvet skipped'; then \
+		echo "escvet self-test: skipped (toolchain cannot replay -gcflags=-m)"; \
+	else \
+		echo "escvet self-test FAILED: seeded escape regression not reported:"; \
+		echo "$$out"; exit 1; \
+	fi
 
 # lint is the full static-analysis gate: gofmt drift, stock vet, the
-# countnetvet domain analyzers, then the pinned third-party tools.
-lint: vet countnetvet
+# countnetvet domain analyzers (plus the escvet teeth check), then the
+# pinned third-party tools.
+lint: vet countnetvet escvet-selftest
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	@if $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) -version >/dev/null 2>&1; then \

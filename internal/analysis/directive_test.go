@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"countnet/internal/analysis/antest"
+)
+
+// TestDirectiveFindings runs the suppress package through the golden
+// harness with no analyzers at all: the findings it asserts are the
+// directive pseudo-analyzer's own (an unknown verb must be reported,
+// well-formed directives must not be).
+func TestDirectiveFindings(t *testing.T) {
+	antest.Run(t, "testdata/src/suppress")
+}

@@ -1,0 +1,238 @@
+// Package escvet pins the compiler's escape and inline decisions on
+// //countnet:hotpath functions to a per-package golden allowlist. The
+// static discipline hotvet enforces is necessary but not sufficient: a
+// perfectly channel-free, lock-free hot path can still start allocating
+// because a closure grew a captured variable or an inlining budget
+// tipped over, and the regression then surfaces only as a benchmark
+// mystery weeks later. escvet re-runs the compiler with -gcflags=-m,
+// keeps every "escapes to heap" / "moved to heap" / "cannot inline"
+// verdict that lands inside a hotpath-annotated function, and diffs the
+// set against escapes.golden in the package directory:
+//
+//   - a verdict not in the golden is a finding at the offending source
+//     line (fix it, or vet the allocation and add the golden entry);
+//   - a golden entry the compiler no longer emits is a finding at the
+//     golden file's line (the allowlist must not rot into fiction).
+//
+// Golden entries are one per line, "file.go:Func: verdict" ("#" starts
+// a comment); "cannot inline" verdicts are truncated before the
+// compiler's cost explanation so a one-point cost drift does not churn
+// the file. Packages with no hotpath marks are skipped entirely —
+// except that a leftover escapes.golden there is itself reported.
+//
+// escvet shells out to the go tool (from the module root, against the
+// package's source directory, so it works for testdata trees too); when
+// the toolchain cannot produce -m output the error wraps ErrToolchain,
+// which countnetvet downgrades to a logged skip unless LINT_STRICT=1.
+package escvet
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"countnet/internal/analysis"
+)
+
+// Analyzer is the escvet pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "escvet",
+	Doc:  "compiler escape/inline decisions on //countnet:hotpath functions must match escapes.golden",
+	Run:  run,
+}
+
+// ErrToolchain wraps failures of the `go build -gcflags=-m` probe, so
+// the driver can distinguish "toolchain cannot do this" from findings.
+var ErrToolchain = errors.New("toolchain cannot produce -gcflags=-m output")
+
+// GoldenName is the per-package allowlist filename.
+const GoldenName = "escapes.golden"
+
+// diagRE parses one compiler diagnostic line: path:line:col: message.
+var diagRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+)$`)
+
+// hotRange is one hotpath function's extent.
+type hotRange struct {
+	file       string // absolute path
+	base       string // basename, used in golden entries
+	start, end int    // line range, inclusive
+	display    string // (*T).Name or Name
+}
+
+func run(pass *analysis.Pass) error {
+	hot := hotRanges(pass)
+	goldenPath := filepath.Join(pass.Dir, GoldenName)
+	golden, goldenExists, err := readGolden(goldenPath)
+	if err != nil {
+		return err
+	}
+	if len(hot) == 0 {
+		if goldenExists {
+			pass.ReportAtf(token.Position{Filename: goldenPath, Line: 1},
+				"escapes.golden present but the package has no //countnet:hotpath functions; delete it")
+		}
+		return nil
+	}
+	verdicts, err := compilerVerdicts(pass.ModRoot, pass.Dir, hot)
+	if err != nil {
+		return err
+	}
+	matched := map[string]bool{}
+	for _, v := range verdicts {
+		if _, ok := golden[v.entry]; ok {
+			matched[v.entry] = true
+			continue
+		}
+		pass.ReportAtf(v.pos, "hot path %s: compiler verdict not in %s: %s", v.display, GoldenName, v.msg)
+	}
+	for entry, line := range golden {
+		if !matched[entry] {
+			pass.ReportAtf(token.Position{Filename: goldenPath, Line: line},
+				"stale %s entry %q: the compiler no longer reports it", GoldenName, entry)
+		}
+	}
+	return nil
+}
+
+// hotRanges collects the package's hotpath-marked function extents.
+func hotRanges(pass *analysis.Pass) []hotRange {
+	var out []hotRange
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !pass.Dirs.MarkedFunc("hotpath", pass.Fset, fd) {
+				continue
+			}
+			start := pass.Fset.Position(fd.Pos())
+			end := pass.Fset.Position(fd.End())
+			out = append(out, hotRange{
+				file:    start.Filename,
+				base:    filepath.Base(start.Filename),
+				start:   start.Line,
+				end:     end.Line,
+				display: declDisplay(fd),
+			})
+		}
+	}
+	return out
+}
+
+// declDisplay renders a declaration like FuncDisplay does, from syntax
+// alone: "(*Network).Traverse" or "Traverse".
+func declDisplay(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	star := ""
+	if p, ok := t.(*ast.StarExpr); ok {
+		t = p.X
+		star = "*"
+	}
+	name := "?"
+	switch x := t.(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := x.X.(*ast.Ident); ok {
+			name = id.Name
+		}
+	}
+	return fmt.Sprintf("(%s%s).%s", star, name, fd.Name.Name)
+}
+
+// verdict is one compiler decision inside a hotpath function.
+type verdict struct {
+	entry   string // normalized golden-entry form
+	msg     string
+	display string
+	pos     token.Position
+}
+
+// compilerVerdicts builds the package with -gcflags=-m and keeps the
+// escape/inline decisions landing inside the given hot ranges.
+func compilerVerdicts(modRoot, dir string, hot []hotRange) ([]verdict, error) {
+	rel, err := filepath.Rel(modRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("escvet: %s is outside module root %s", dir, modRoot)
+	}
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./"+filepath.ToSlash(rel))
+	cmd.Dir = modRoot
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("%w: go build -gcflags=-m: %v\n%s", ErrToolchain, err, out)
+	}
+	var verdicts []verdict
+	for _, line := range strings.Split(string(out), "\n") {
+		m := diagRE.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		msg := normalize(m[4])
+		if msg == "" {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(modRoot, file)
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		for _, h := range hot {
+			if file == h.file && ln >= h.start && ln <= h.end {
+				verdicts = append(verdicts, verdict{
+					entry:   fmt.Sprintf("%s:%s: %s", h.base, h.display, msg),
+					msg:     msg,
+					display: h.display,
+					pos:     token.Position{Filename: file, Line: ln, Column: col},
+				})
+				break
+			}
+		}
+	}
+	return verdicts, nil
+}
+
+// normalize keeps only the verdict kinds escvet pins, and strips the
+// inliner's cost explanation (which drifts with every edit).
+func normalize(msg string) string {
+	switch {
+	case strings.Contains(msg, "escapes to heap"):
+		return strings.TrimSuffix(msg, ":")
+	case strings.HasPrefix(msg, "moved to heap"):
+		return msg
+	case strings.HasPrefix(msg, "cannot inline "):
+		if i := strings.Index(msg, ":"); i >= 0 {
+			return msg[:i]
+		}
+		return msg
+	}
+	return ""
+}
+
+// readGolden loads the allowlist: entry -> line number.
+func readGolden(path string) (map[string]int, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]int{}, false, nil
+		}
+		return nil, false, err
+	}
+	golden := map[string]int{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		golden[line] = i + 1
+	}
+	return golden, true, nil
+}

@@ -1,0 +1,260 @@
+// Package gatevet checks the seqlock-style epoch-gate protocol the
+// adaptive counter's exact-counting argument rests on (and that PR 8
+// fixed by hand once): a switch closes the gate (odd), drains the
+// in-flight census, swaps the epoch state, and reopens the gate (next
+// even); tokens check the gate, register in the census, re-check, and
+// only then read the epoch. Four field marks and one function mark
+// declare the protocol roles:
+//
+//	//countnet:gate       the gate word itself (even = open, odd = switching)
+//	//countnet:gated      epoch state guarded by the gate
+//	//countnet:gatecensus the in-flight census stripes
+//	//countnet:gatelock   the mutex a switch runs under
+//	//countnet:gateheld   a function that runs with the gate closed
+//
+// gatevet then flags, per function:
+//
+//   - any plain (non-atomic-method) access of the gate or a gated field
+//     — copying an atomic or taking its address bypasses the protocol
+//     entirely;
+//   - a write (Store/Swap/CompareAndSwap/Add) to the gate or a gated
+//     field outside a //countnet:gateheld function — epoch state may
+//     only change while the gate is held odd;
+//   - an atomic read of a gated field in a function that neither loads
+//     the gate first, nor acquires the gate lock, nor is gateheld —
+//     the load/validate pair is what makes a read safe;
+//   - a census increment sequenced before the function's first gate
+//     load (the PR 8 bug class): a token that bumps the census before
+//     checking the gate can hold a switcher's drain scan hostage or
+//     slip into a retiring epoch. Decrements (back-out, exit) are free.
+//
+// The analysis is lexical within one function body — the protocol is
+// deliberately written so each role transition is visible in a single
+// function, and the checker enforces that shape rather than chasing
+// aliases. Intentional exceptions (a constructor storing the first
+// epoch before any reader exists, an advisory snapshot read) carry
+// //countnet:allow gatevet directives with their justification.
+package gatevet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"countnet/internal/analysis"
+)
+
+// Analyzer is the gatevet pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "gatevet",
+	Doc:  "epoch-gate protocol: gated state only behind a load/validate pair, writes only gateheld, census increments after the gate check",
+	Run:  run,
+}
+
+// Field roles, from the countnet mark verbs.
+const (
+	roleGate   = "gate"
+	roleGated  = "gated"
+	roleCensus = "gatecensus"
+	roleLock   = "gatelock"
+)
+
+// event is one protocol-relevant access, ordered by source position.
+type event struct {
+	pos  token.Pos
+	kind int
+	name string // field name, for the message
+}
+
+// Event kinds.
+const (
+	evGateLoad = iota
+	evGateWrite
+	evGatedRead
+	evGatedWrite
+	evGatedPlain
+	evCensusInc
+	evLockAcquire
+)
+
+// atomicWrites are the sync/atomic method names that mutate the value.
+var atomicWrites = map[string]bool{"Store": true, "Swap": true, "CompareAndSwap": true, "Add": true, "Or": true, "And": true}
+
+func run(pass *analysis.Pass) error {
+	fields := markedFields(pass)
+	if len(fields) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fields, fd)
+		}
+	}
+	return nil
+}
+
+// markedFields collects the package's protocol fields: struct fields
+// carrying one of the gate role marks, keyed by their types.Var.
+func markedFields(pass *analysis.Pass) map[*types.Var]string {
+	fields := map[*types.Var]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					for _, role := range []string{roleGate, roleGated, roleCensus, roleLock} {
+						if pass.Dirs.MarkedField(role, pass.Fset, fld) {
+							fields[v] = role
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+// checkFunc applies the protocol rules to one function body.
+func checkFunc(pass *analysis.Pass, fields map[*types.Var]string, fd *ast.FuncDecl) {
+	gateheld := pass.Dirs.MarkedFunc("gateheld", pass.Fset, fd)
+	// consumed marks selector nodes that belong to a classified atomic
+	// method call, so the plain-access sweep does not re-flag them.
+	consumed := map[ast.Node]bool{}
+	var events []event
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fld, role := baseField(pass.TypesInfo, fields, sel.X, consumed)
+		if fld == nil {
+			return true
+		}
+		method := sel.Sel.Name
+		switch role {
+		case roleGate:
+			if method == "Load" {
+				events = append(events, event{call.Pos(), evGateLoad, fld.Name()})
+			} else if atomicWrites[method] {
+				events = append(events, event{call.Pos(), evGateWrite, fld.Name()})
+			}
+		case roleGated:
+			if method == "Load" {
+				events = append(events, event{call.Pos(), evGatedRead, fld.Name()})
+			} else if atomicWrites[method] {
+				events = append(events, event{call.Pos(), evGatedWrite, fld.Name()})
+			}
+		case roleCensus:
+			if method == "Add" && !isDecrement(call) {
+				events = append(events, event{call.Pos(), evCensusInc, fld.Name()})
+			}
+		case roleLock:
+			if method == "Lock" {
+				events = append(events, event{call.Pos(), evLockAcquire, fld.Name()})
+			}
+		}
+		return true
+	})
+
+	// Plain accesses: any remaining selection of the gate or a gated
+	// field outside the classified atomic calls.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || consumed[sel] {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if !ok {
+			return true
+		}
+		if role := fields[v]; role == roleGate || role == roleGated {
+			events = append(events, event{sel.Pos(), evGatedPlain, v.Name()})
+		}
+		return true
+	})
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	gateLoaded, lockHeld := false, false
+	for _, e := range events {
+		switch e.kind {
+		case evGateLoad:
+			gateLoaded = true
+		case evLockAcquire:
+			lockHeld = true
+		case evGatedPlain:
+			pass.Reportf(e.pos, "plain access of gate-guarded field %s bypasses the epoch gate (use its atomic methods)", e.name)
+		case evGateWrite:
+			if !gateheld {
+				pass.Reportf(e.pos, "write to epoch gate %s outside a //countnet:gateheld switch path", e.name)
+			}
+		case evGatedWrite:
+			if !gateheld {
+				pass.Reportf(e.pos, "write to gate-guarded field %s without the gate held odd (mark the function //countnet:gateheld or fix the protocol)", e.name)
+			}
+		case evGatedRead:
+			if !gateheld && !gateLoaded && !lockHeld {
+				pass.Reportf(e.pos, "read of gate-guarded field %s outside a gate load/validate pair", e.name)
+			}
+		case evCensusInc:
+			if !gateheld && !gateLoaded {
+				pass.Reportf(e.pos, "census increment on %s sequenced before the gate check (a token could enter a retiring epoch)", e.name)
+			}
+		}
+	}
+}
+
+// baseField walks a selector/index chain (c.inflight[slot].v, c.gate)
+// down to the first protocol field it selects, recording the traversed
+// selectors as consumed.
+func baseField(info *types.Info, fields map[*types.Var]string, e ast.Expr, consumed map[ast.Node]bool) (*types.Var, string) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+				if role, ok := fields[v]; ok {
+					consumed[x] = true
+					return v, role
+				}
+			}
+			e = x.X
+		default:
+			return nil, ""
+		}
+	}
+}
+
+// isDecrement reports whether an Add call's argument is a negative
+// constant; anything else is conservatively treated as an increment.
+func isDecrement(call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	u, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || u.Op != token.SUB {
+		return false
+	}
+	_, isLit := ast.Unparen(u.X).(*ast.BasicLit)
+	return isLit
+}

@@ -1,0 +1,12 @@
+package gatevet_test
+
+import (
+	"testing"
+
+	"countnet/internal/analysis/antest"
+	"countnet/internal/analysis/gatevet"
+)
+
+func TestGatevet(t *testing.T) {
+	antest.Run(t, "../testdata/src/gatevet", gatevet.Analyzer)
+}

@@ -1,0 +1,12 @@
+package hotvet_test
+
+import (
+	"testing"
+
+	"countnet/internal/analysis/antest"
+	"countnet/internal/analysis/hotvet"
+)
+
+func TestHotvet(t *testing.T) {
+	antest.Run(t, "../testdata/src/hotvet", hotvet.Analyzer)
+}

@@ -19,9 +19,11 @@ import (
 
 // Package is one loaded, type-checked analysis target.
 type Package struct {
-	// Path is the import path; Dir the source directory.
-	Path string
-	Dir  string
+	// Path is the import path; Dir the source directory; ModRoot the
+	// enclosing module root the package was loaded relative to.
+	Path    string
+	Dir     string
+	ModRoot string
 
 	Fset       *token.FileSet
 	Files      []*ast.File
@@ -63,6 +65,7 @@ func Load(modRoot string, patterns []string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		p.ModRoot = modRoot
 		out = append(out, p)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
@@ -116,7 +119,12 @@ func LoadDir(modRoot, dir string) (*Package, error) {
 		}
 	}
 	lp := listPkg{ImportPath: parsed[0].Name.Name, Dir: dir, GoFiles: files}
-	return typecheckParsed(fset, newExportImporter(fset, exports), lp, parsed)
+	p, err := typecheckParsed(fset, newExportImporter(fset, exports), lp, parsed)
+	if err != nil {
+		return nil, err
+	}
+	p.ModRoot = modRoot
+	return p, nil
 }
 
 // goList runs `go list -export -deps -json` over the patterns and returns

@@ -53,6 +53,25 @@ func TestDirectiveParsing(t *testing.T) {
 	if d.HasLockOrder("T.b", "T.a") {
 		t.Errorf("lockorder is not symmetric")
 	}
+	// Two directives share one comment line on field g.
+	var verbs []string
+	for _, m := range d.Marks {
+		verbs = append(verbs, m.Verb)
+	}
+	for _, want := range []string{"gate", "gated"} {
+		found := false
+		for _, v := range verbs {
+			if v == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("mark %q not parsed from the multi-directive line (got %v)", want, verbs)
+		}
+	}
+	if len(d.Unknown) != 1 || d.Unknown[0].Verb != "hotpathh" {
+		t.Errorf("unknown-verb capture: got %+v, want one entry with verb hotpathh", d.Unknown)
+	}
 }
 
 func TestAllowedLineScope(t *testing.T) {

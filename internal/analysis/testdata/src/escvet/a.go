@@ -1,0 +1,25 @@
+// Package escvetdata seeds one vetted and one unvetted escape on a hot
+// path for the escvet golden test.
+package escvetdata
+
+type node struct {
+	next *node
+	val  int64
+}
+
+//countnet:hotpath
+func Covered() *node {
+	return &node{val: 1}
+}
+
+//countnet:hotpath
+func Leaky(n int) *node {
+	x := node{val: int64(n)} // want `hot path Leaky: compiler verdict not in escapes\.golden: moved to heap: x`
+	return &x
+}
+
+func cold() *node {
+	return &node{val: 2}
+}
+
+var _ = cold

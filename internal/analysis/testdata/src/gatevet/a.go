@@ -1,0 +1,100 @@
+// Package gatevetdata seeds epoch-gate protocol violations for the
+// gatevet golden test, including the PR 8 bug class: a census increment
+// sequenced before the gate check.
+package gatevetdata
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type state struct{ base int64 }
+
+type pad struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+type counter struct {
+	gate     atomic.Int64          //countnet:gate
+	cur      atomic.Pointer[state] //countnet:gated
+	inflight [4]pad                //countnet:gatecensus
+	mu       sync.Mutex            //countnet:gatelock
+}
+
+// goodEnter is the canonical check → census → re-check → read sequence.
+func (c *counter) goodEnter(slot int) *state {
+	if c.gate.Load()&1 == 0 {
+		c.inflight[slot].v.Add(1)
+		if c.gate.Load()&1 == 0 {
+			return c.cur.Load()
+		}
+		c.inflight[slot].v.Add(-1)
+	}
+	return nil
+}
+
+// badEnter registers in the census before ever checking the gate — the
+// exact ordering bug the drain scan cannot survive.
+func (c *counter) badEnter(slot int) *state {
+	c.inflight[slot].v.Add(1) // want `census increment on inflight sequenced before the gate check`
+	if c.gate.Load()&1 == 0 {
+		return c.cur.Load()
+	}
+	c.inflight[slot].v.Add(-1)
+	return nil
+}
+
+// badRead loads epoch state with no gate validation at all.
+func (c *counter) badRead() *state {
+	return c.cur.Load() // want `read of gate-guarded field cur outside a gate load/validate pair`
+}
+
+// lockedRead is legal: the switch lock excludes any concurrent switch.
+func (c *counter) lockedRead() *state {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur.Load()
+}
+
+// plainRead copies the atomic wrapper, bypassing the protocol entirely.
+func (c *counter) plainRead() any {
+	p := &c.cur // want `plain access of gate-guarded field cur bypasses the epoch gate`
+	return p
+}
+
+// badWrite installs a new epoch without holding the gate odd.
+func (c *counter) badWrite(s *state) {
+	c.cur.Store(s) // want `write to gate-guarded field cur without the gate held odd`
+}
+
+// badGateTouch flips the gate from a function not marked gateheld.
+func (c *counter) badGateTouch() {
+	c.gate.Add(1) // want `write to epoch gate gate outside a //countnet:gateheld switch path`
+}
+
+// switchLocked is the sanctioned switch path.
+//
+//countnet:gateheld
+func (c *counter) switchLocked(s *state) {
+	c.gate.Add(1)
+	for c.census() > 0 {
+	}
+	c.cur.Store(s)
+	c.gate.Add(1)
+}
+
+// census only reads the stripes; reads are free.
+func (c *counter) census() int64 {
+	var n int64
+	for i := range c.inflight {
+		n += c.inflight[i].v.Load()
+	}
+	return n
+}
+
+// snapshot is an intentionally advisory read, carrying its reason.
+func (c *counter) snapshot() *state {
+	//countnet:allow gatevet -- advisory snapshot; epochs are immutable once published
+	return c.cur.Load()
+}

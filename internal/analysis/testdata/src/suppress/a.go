@@ -6,7 +6,16 @@ package suppress
 
 import "sync"
 
-// T carries two ordered locks.
+// T carries two ordered locks, plus a field claiming two protocol roles
+// with two directives on one comment line.
 type T struct {
 	a, b sync.Mutex
+	g    int64 //countnet:gate //countnet:gated
 }
+
+// mistyped carries a typoed verb: a diagnostic, never a silent no-op.
+//
+//countnet:hotpathh // want `unknown countnet directive "hotpathh"`
+func mistyped() {}
+
+var _ = mistyped

@@ -204,9 +204,10 @@ type epoch struct {
 // Counter is the adaptive front-end. Safe for concurrent use by any
 // number of goroutines.
 type Counter struct {
-	gate     atomic.Int64 // seqlock: even = open, odd = switching
-	cur      atomic.Pointer[epoch]
-	inflight [stripes]pad64
+	// gate is a seqlock: even = open, odd = switching.
+	gate     atomic.Int64          //countnet:gate
+	cur      atomic.Pointer[epoch] //countnet:gated
+	inflight [stripes]pad64        //countnet:gatecensus
 
 	direct pad64 // the ModeDirect backend's cumulative sequence
 	net    *shm.Network
@@ -228,7 +229,7 @@ type Counter struct {
 
 	// Switch state under switchMu: padded-network cache and the epoch
 	// log.
-	switchMu sync.Mutex
+	switchMu sync.Mutex //countnet:gatelock
 	padded   map[int]*shm.Network
 	epochs   []EpochStat
 	switches atomic.Int64
@@ -300,14 +301,19 @@ func New(n *shm.Network, opts Options) (*Counter, error) {
 		c.modeGauge = &obs.Gauge{}
 		c.epochGauge = &obs.Gauge{}
 	}
+	//countnet:allow gatevet -- the constructor publishes the first epoch before any reader exists, so no gate is needed
 	c.cur.Store(&epoch{mode: ModeDirect, padK: 1})
 	return c, nil
 }
 
 // Mode returns the current regime.
+//
+//countnet:allow gatevet -- advisory snapshot; epochs are immutable once published, only their currency is racy
 func (c *Counter) Mode() Mode { return c.cur.Load().mode }
 
 // Epoch returns the current epoch number.
+//
+//countnet:allow gatevet -- advisory snapshot; epochs are immutable once published, only their currency is racy
 func (c *Counter) Epoch() uint64 { return c.cur.Load().id }
 
 // Ratio returns the live (Tog+W)/Tog estimator.
@@ -319,6 +325,8 @@ func (c *Counter) Ratio() *obs.Ratio { return c.ratio }
 // operation index; afterNode is the paper's W-delay injection hook,
 // invoked once per visited node (once, with node -1, in ModeDirect, which
 // has a single logical node).
+//
+//countnet:hotpath
 func (c *Counter) Next(input int, proc, tok int32, afterNode func(id topo.NodeID)) int64 {
 	slot, ep := c.enter(proc)
 	sampled := (uint32(proc)*0x9e3779b9+uint32(tok))&(1<<sampleShift-1) == 0
@@ -348,6 +356,8 @@ func (c *Counter) Next(input int, proc, tok int32, afterNode func(id topo.NodeID
 // the switcher's drain scan sees the increment (and waits for the
 // token), or the re-check after the increment sees the odd gate (and
 // the token backs out). Either way no token runs in a retired epoch.
+//
+//countnet:hotpath
 func (c *Counter) enter(proc int32) (int, *epoch) {
 	slot := int(uint32(proc) % stripes)
 	if c.gate.Load()&1 == 0 {
@@ -513,6 +523,8 @@ func (c *Counter) SwitchTo(m Mode) error {
 
 // switchLocked executes the drain-then-switch protocol. Caller holds
 // switchMu.
+//
+//countnet:gateheld
 func (c *Counter) switchLocked(m Mode) {
 	old := c.cur.Load()
 	c.gate.Add(1) // even -> odd: close the gate

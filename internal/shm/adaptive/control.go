@@ -13,6 +13,8 @@ package adaptive
 // never before, or the drain below would wait for the caller itself.
 // TryLock makes concurrent closers cheap: one worker arbitrates, the
 // rest go back to counting.
+//
+//countnet:coldpath
 func (c *Counter) control() {
 	if !c.ctlMu.TryLock() {
 		return
@@ -24,6 +26,7 @@ func (c *Counter) control() {
 		return
 	}
 	occ := float64(sum) / float64(n)
+	//countnet:allow gatevet -- controller snapshot only; the transition re-reads the epoch under switchMu before switching
 	ep := c.cur.Load()
 	want := c.vote(ep.mode, occ)
 

@@ -38,8 +38,10 @@ func (b *Backoff) Wait() {
 	case b.attempts <= spinAttempts:
 		spin(4 << b.attempts)
 	case b.attempts <= yieldAttempts:
+		//countnet:allow hotvet -- the yield tier of the escalation ladder; handing back the quantum is this primitive's purpose
 		runtime.Gosched()
 	default:
+		//countnet:allow hotvet -- the sleep tier of the escalation ladder; a persistent waiter must stop burning scheduler time
 		time.Sleep(sleepQuantum)
 	}
 }

@@ -86,6 +86,7 @@ type mutexBalancer struct {
 }
 
 func (b *mutexBalancer) Traverse() int {
+	//countnet:allow hotvet -- KindMutex is the deliberately blocking textbook toggle, kept as the measurement baseline
 	b.mu.Lock()
 	out := b.toggle
 	b.toggle = (b.toggle + 1) % b.fanOut

@@ -24,6 +24,7 @@ func (b *atomicBalancer) TraverseBatch(demand int, counts []int) {
 }
 
 func (b *mutexBalancer) TraverseBatch(demand int, counts []int) {
+	//countnet:allow hotvet -- KindMutex is the deliberately blocking textbook toggle, kept as the measurement baseline
 	b.mu.Lock()
 	for i := 0; i < demand; i++ {
 		counts[b.toggle]++
@@ -73,6 +74,8 @@ type batchFrame struct {
 // traffic. afterNode is invoked once per visited node, as in
 // TraverseHook; proc and tok identify the representative in trace
 // events when observability is enabled (they are ignored otherwise).
+//
+//countnet:hotpath
 func (n *Network) TraverseBatch(input, demand int, proc, tok int32, afterNode func(id topo.NodeID)) []int64 {
 	if demand < 1 {
 		return nil

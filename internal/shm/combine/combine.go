@@ -231,9 +231,11 @@ func (f *Funnel) Stats() Stats {
 // distributes the values; otherwise it camps for a window hoping to be
 // claimed itself, falling back to a plain traversal. Do returns exactly
 // demand values.
+//
+//countnet:hotpath
 func (f *Funnel) Do(demand int, traverse Traverse) []int64 {
 	if demand < 1 {
-		panic(fmt.Sprintf("combine: demand %d", demand))
+		badDemand(demand)
 	}
 	f.tokens.Inc()
 	if f.inflight.Add(1) == 1 {
@@ -243,8 +245,27 @@ func (f *Funnel) Do(demand int, traverse Traverse) []int64 {
 		f.idle.Inc()
 		return vals
 	}
-	defer f.inflight.Add(-1)
+	// The decrement is explicit rather than deferred: exchange cannot
+	// panic on the funnel's own account (run re-panics only on a broken
+	// traverse contract), and a deferred call is exactly the kind of
+	// hot-path frame pinning hotvet exists to reject.
+	vals := f.exchange(demand, traverse)
+	f.inflight.Add(-1)
+	return vals
+}
 
+// badDemand panics on an impossible demand. It lives outside Do so the
+// panic formatting — which boxes its argument — stays out of the hot
+// path's escape profile.
+//
+//go:noinline
+func badDemand(demand int) {
+	panic(fmt.Sprintf("combine: demand %d", demand))
+}
+
+// exchange is the contended body of Do: camp-or-claim, then either
+// represent a swept batch or wait to be represented.
+func (f *Funnel) exchange(demand int, traverse Traverse) []int64 {
 	rng, _ := f.rngs.Get().(*rand.Rand)
 	spread := f.liveSpread()
 	i := rng.Intn(spread)
@@ -289,6 +310,7 @@ func (f *Funnel) Do(demand int, traverse Traverse) []int64 {
 	// without paying a park/unpark.
 	var bo backoff.Backoff
 	for bo.Attempts() < campSpins {
+		//countnet:allow hotvet -- nonblocking poll for an early partner; parking campers is the funnel's combining mechanism
 		select {
 		case vals := <-me.res:
 			f.pairWait.Observe(time.Since(t0).Nanoseconds())
@@ -306,6 +328,7 @@ func (f *Funnel) Do(demand int, traverse Traverse) []int64 {
 		} else {
 			me.timer.Reset(rem)
 		}
+		//countnet:allow hotvet -- camped token parks on its result channel for the window; that CPU hand-back is the point of combining
 		select {
 		case vals := <-me.res:
 			stopTimer(me.timer)
@@ -322,6 +345,7 @@ func (f *Funnel) Do(demand int, traverse Traverse) []int64 {
 	}
 	// A representative committed to us at the last instant; the values
 	// are on their way.
+	//countnet:allow hotvet -- delivery already committed by a representative; the receive is bounded by its traversal
 	vals := <-me.res
 	f.pairWait.Observe(time.Since(t0).Nanoseconds())
 	f.pool.Put(me)
@@ -331,6 +355,7 @@ func (f *Funnel) Do(demand int, traverse Traverse) []int64 {
 // stopTimer stops and drains t so the pool can reuse it.
 func stopTimer(t *time.Timer) {
 	if !t.Stop() {
+		//countnet:allow hotvet -- nonblocking drain of an already-fired pooled timer
 		select {
 		case <-t.C:
 		default:
@@ -349,6 +374,7 @@ func (f *Funnel) represent(ps []*waiter, demand int, traverse Traverse) []int64 
 	vals := f.run(traverse, total)
 	off := demand
 	for _, w := range ps {
+		//countnet:allow hotvet -- partner channels are buffered (capacity 1), so delivery never blocks the representative
 		w.res <- vals[off : off+w.demand : off+w.demand]
 		off += w.demand
 	}

@@ -36,6 +36,7 @@ func (l *Lock) Acquire(n *Node) {
 	pred.next.Store(n)
 	for spins := 0; n.locked.Load(); spins++ {
 		if spins%64 == 63 {
+			//countnet:allow hotvet -- bounded courtesy yield while the predecessor hands over the MCS lock; pure spinning here starves oversubscribed runs
 			runtime.Gosched()
 		}
 	}
@@ -62,6 +63,7 @@ func (l *Lock) Release(n *Node) {
 				break
 			}
 			if spins%64 == 63 {
+				//countnet:allow hotvet -- bounded courtesy yield while the successor finishes linking itself into the queue
 				runtime.Gosched()
 			}
 		}
@@ -79,6 +81,7 @@ func (p *Pool) Get() *Node {
 	if n, ok := p.p.Get().(*Node); ok {
 		return n
 	}
+	//countnet:allow hotvet -- a pool miss allocates one queue node; steady-state traffic recycles nodes through the pool
 	return new(Node)
 }
 

@@ -85,6 +85,8 @@ func (n *Network) OutWidth() int { return int(n.w) }
 
 // Traverse routes one token from the given input to a counter and returns
 // its value. Safe for concurrent use by any number of goroutines.
+//
+//countnet:hotpath
 func (n *Network) Traverse(input int) int64 {
 	return n.TraverseHook(input, nil)
 }
