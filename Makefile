@@ -85,7 +85,9 @@ chaos:
 # BENCH_sim.json / BENCH_shm.json / BENCH_adaptive.json / BENCH_obs.json
 # files whose format is documented in EXPERIMENTS.md (E20). The adaptive
 # run is the E25 crossover sweep (static engines vs the adaptive
-# front-end, 1..256 workers); the obs run doubles as the
+# front-end, 1..256 workers) plus the E27 serialization-cliff sweep
+# (bare network vs the ModeLinear-pinned waiting regime,
+# BenchmarkAdaptiveLinear); the obs run doubles as the
 # measurement-cost record: span stamping and flight recording are
 # 0 allocs/op.
 bench:

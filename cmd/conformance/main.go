@@ -127,7 +127,7 @@ func run(args []string, w io.Writer) error {
 
 // crossEngine runs the differential corpus and reports per-cell agreement.
 func crossEngine(w io.Writer, reg *obs.Registry, nets []workload.NetKind, widths []int, procs, ops int, seed int64) error {
-	fmt.Fprintln(w, "== cross-engine conformance (quiescent / sim / shm / shm-combine / shm-adaptive / msgnet / msgnet-faults) ==")
+	fmt.Fprintln(w, "== cross-engine conformance (quiescent / sim / shm / shm-combine / shm-adaptive / shm-adaptive-linear / msgnet / msgnet-faults) ==")
 	cells := reg.Counter("conformance_cross_cells_total")
 	for _, net := range nets {
 		for _, width := range widths {
@@ -144,7 +144,7 @@ func crossEngine(w io.Writer, reg *obs.Registry, nets []workload.NetKind, widths
 				return fmt.Errorf("ENGINES DISAGREE on %s: %w", spec, err)
 			}
 			cells.Inc()
-			fmt.Fprintf(w, "%-32s 7 engines agree (%d ops)\n", spec, ops)
+			fmt.Fprintf(w, "%-32s 8 engines agree (%d ops)\n", spec, ops)
 		}
 	}
 	return nil

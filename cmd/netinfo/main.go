@@ -7,7 +7,8 @@
 //
 // -measure runs a small instrumented workload through each engine — cycle
 // simulator, shared-memory goroutines plain, behind the combining funnel,
-// and behind the contention-adaptive front-end, message-passing channels —
+// behind the contention-adaptive front-end (free-running, and pinned to
+// its guaranteed-linearizable waiting regime), message-passing channels —
 // and prints the measured Tog, W, and (Tog+W)/Tog timing ratio per engine
 // (the paper's Section 5 measure, live rather than offline), plus the
 // funnel's combine hit rate and the adaptive engine's regime tallies.
@@ -190,10 +191,42 @@ func measureEngines(w io.Writer, net workload.NetKind, width int) error {
 	if r := front.Ratio(); r != nil {
 		adTog = r.Tog()
 	}
-	fmt.Fprintf(w, "%-8s %-7s %14.1f %14.0f %14.3f   modes d/c/n %d/%d/%d, %d switches\n",
+	fmt.Fprintf(w, "%-8s %-7s %14.1f %14.0f %14.3f   modes d/c/n/l %d/%d/%d/%d, %d switches\n",
 		"adaptive", "ns", adTog, adCfg.EffWait(), ast.Ratio,
 		ast.PerMode[adaptive.ModeDirect], ast.PerMode[adaptive.ModeCombine],
-		ast.PerMode[adaptive.ModeNetwork], ast.Switches)
+		ast.PerMode[adaptive.ModeNetwork], ast.PerMode[adaptive.ModeLinear], ast.Switches)
+
+	// The adaptive+wait row pins the front-end to the guaranteed-
+	// linearizable waiting regime (ModeLinear) via a LinearBelow band no
+	// occupancy can exceed — the measured cost of holding every response
+	// until all smaller values have been returned.
+	linNet, err := shm.Compile(g, shm.Options{Diffract: net == workload.DTree})
+	if err != nil {
+		return err
+	}
+	linCfg := shmCfg
+	linCfg.Net = linNet
+	linCfg.Metrics = obs.NewRegistry()
+	linFront, err := adaptive.New(linNet, adaptive.Options{
+		LinearBelow: 1 << 20,
+		EffWait:     linCfg.EffWait(), Metrics: linCfg.Metrics,
+	})
+	if err != nil {
+		return err
+	}
+	linCfg.Front = linFront
+	if _, err := shm.Stress(linCfg); err != nil {
+		return err
+	}
+	lst := linFront.Stats()
+	linTog := 0.0
+	if r := linFront.Ratio(); r != nil {
+		linTog = r.Tog()
+	}
+	fmt.Fprintf(w, "%-8s %-7s %14.1f %14.0f %14.3f   modes d/c/n/l %d/%d/%d/%d, %d switches\n",
+		"adp+wait", "ns", linTog, linCfg.EffWait(), lst.Ratio,
+		lst.PerMode[adaptive.ModeDirect], lst.PerMode[adaptive.ModeCombine],
+		lst.PerMode[adaptive.ModeNetwork], lst.PerMode[adaptive.ModeLinear], lst.Switches)
 
 	reg := obs.NewRegistry()
 	mn, err := msgnet.StartOpts(g, msgnet.Options{Buffer: 1, Metrics: reg})

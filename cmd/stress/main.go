@@ -30,7 +30,13 @@
 // load changes, and the report gains the regime history (per-mode token
 // tallies, switch count, live (Tog+W)/Tog estimate). -linearizable turns
 // on the Corollary 3.12 prefix padding whenever the measured ratio
-// implies k > 2.
+// implies k > 2. -linear-below sets the occupancy band under which the
+// front-end runs the guaranteed-linearizable waiting regime (ModeLinear:
+// traverse the network, then hold the response until every smaller value
+// has been returned); the counter starts in that regime, so a large band
+// pins the whole run to it:
+//
+//	stress -engine adaptive -linear-below 1048576 -workers 64 -width 8
 //
 // With -trace the run's token events (enter, per-balancer traversal with
 // wait duration, counter, exit) are exported as JSONL (.jsonl) or Chrome
@@ -86,6 +92,7 @@ func run(args []string, w io.Writer) error {
 		grid    = fs.Bool("grid", false, "run the wall-clock analogue of the paper's Figure 5/6 grid")
 		engine  = fs.String("engine", "shm", "execution engine: shm, adaptive, or msgnet")
 		linear  = fs.Bool("linearizable", false, "adaptive engine: insert Corollary 3.12 prefix padding when the measured ratio implies k > 2")
+		linBand = fs.Int("linear-below", 0, "adaptive engine: occupancy band below which the guaranteed-linearizable waiting regime (ModeLinear) is used; 0 disables")
 		faultsF = fs.Float64("faults", 0, "msgnet fault intensity in [0,1]: drop rate, with dup/reorder at half (msgnet engine only)")
 		faultSd = fs.Int64("fault-seed", 1, "seed for the deterministic fault plan")
 		seed    = fs.Int64("seed", 1, "workload seed")
@@ -130,6 +137,9 @@ func run(args []string, w io.Writer) error {
 	if *linear && *engine != "adaptive" {
 		return fmt.Errorf("-linearizable requires -engine adaptive")
 	}
+	if *linBand != 0 && *engine != "adaptive" {
+		return fmt.Errorf("-linear-below requires -engine adaptive")
+	}
 	var k shm.Kind
 	switch *kind {
 	case "mcs":
@@ -163,6 +173,7 @@ func run(args []string, w io.Writer) error {
 		front, err = adaptive.New(n, adaptive.Options{
 			Kind:          k,
 			Linearizable:  *linear,
+			LinearBelow:   *linBand,
 			CombineWidth:  *combW,
 			CombineWindow: *combWin,
 			EffWait:       cfg.EffWait(),
@@ -207,8 +218,8 @@ func run(args []string, w io.Writer) error {
 	}
 	if front != nil {
 		st := front.Stats()
-		fmt.Fprintf(w, "adaptive: ended in %s after %d switches, tokens direct/combine/network = %d/%d/%d, (Tog+W)/Tog est %.3f\n",
-			st.Mode, st.Switches, st.PerMode[adaptive.ModeDirect], st.PerMode[adaptive.ModeCombine], st.PerMode[adaptive.ModeNetwork], st.Ratio)
+		fmt.Fprintf(w, "adaptive: ended in %s after %d switches, tokens direct/combine/network/linear = %d/%d/%d/%d, (Tog+W)/Tog est %.3f\n",
+			st.Mode, st.Switches, st.PerMode[adaptive.ModeDirect], st.PerMode[adaptive.ModeCombine], st.PerMode[adaptive.ModeNetwork], st.PerMode[adaptive.ModeLinear], st.Ratio)
 		if st.PadK > 1 {
 			fmt.Fprintf(w, "adaptive: running Corollary 3.12 padded network, k=%d\n", st.PadK)
 		}

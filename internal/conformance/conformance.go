@@ -311,6 +311,34 @@ func RunSHMAdaptive(spec workload.Spec) (*Execution, error) {
 	return &Execution{Engine: "shm-adaptive", Ops: res.Ops}, nil
 }
 
+// RunSHMAdaptiveLinear executes the spec on the shared-memory runtime
+// behind the adaptive front-end pinned to the guaranteed-linearizable
+// waiting regime: LinearBelow is set far above any reachable occupancy,
+// so every token either takes the direct counter or traverses the
+// network and then waits its turn (ModeLinear). Unlike shm-adaptive,
+// whose unpadded network epochs may legitimately misorder under
+// injected W, this engine promises full linearizability — CrossCheck
+// asserts lincheck finds zero violations on its history.
+func RunSHMAdaptiveLinear(spec workload.Spec) (*Execution, error) {
+	real := workload.RealSpec{
+		Net:                 spec.Net,
+		Width:               spec.Width,
+		Workers:             spec.Procs,
+		Ops:                 spec.Ops,
+		Frac:                spec.Frac,
+		Delay:               time.Duration(spec.Wait) * time.Nanosecond,
+		RandomDelay:         spec.RandomWait,
+		Seed:                spec.Seed,
+		Adaptive:            true,
+		AdaptiveLinearBelow: 1 << 20,
+	}
+	res, err := real.Run()
+	if err != nil {
+		return nil, fmt.Errorf("shm-adaptive-linear: %w", err)
+	}
+	return &Execution{Engine: "shm-adaptive-linear", Ops: res.Ops}, nil
+}
+
 // RunMsgnet executes the spec on the message-passing runtime: spec.Procs
 // goroutines issue spec.Ops traversals in total, each timestamped with the
 // monotonic clock. The shared harness lives in runMsgnet (faults.go),
@@ -398,12 +426,16 @@ func CheckPadded(g *topo.Graph, c *schedule.Concrete) error {
 	return nil
 }
 
-// CrossCheck runs the spec through all seven execution engines —
+// CrossCheck runs the spec through all eight execution engines —
 // quiescent topo, sim, shm, shm with the combining funnel, shm behind the
-// contention-adaptive front-end, msgnet, and msgnet under the
+// contention-adaptive front-end, the same front-end pinned to its
+// guaranteed-linearizable waiting regime, msgnet, and msgnet under the
 // spec-derived fault plan — and verifies the universal invariants on
-// each; any breach is an engine disagreement. The returned error carries
-// the spec's JSON so the failing cell can be replayed exactly.
+// each; any breach is an engine disagreement. The shm-adaptive-linear
+// engine additionally promises a linearizable history, so its ops are
+// run through lincheck and any violation fails the check. The returned
+// error carries the spec's JSON so the failing cell can be replayed
+// exactly.
 func CrossCheck(spec workload.Spec) error {
 	if err := spec.Validate(); err != nil {
 		return err
@@ -422,7 +454,7 @@ func CrossCheck(spec workload.Spec) error {
 	if err != nil {
 		return replayable(spec, err)
 	}
-	for _, run := range []func(workload.Spec) (*Execution, error){RunSim, RunSHM, RunSHMCombined, RunSHMAdaptive, RunMsgnet, RunMsgnetFaulty} {
+	for _, run := range []func(workload.Spec) (*Execution, error){RunSim, RunSHM, RunSHMCombined, RunSHMAdaptive, RunSHMAdaptiveLinear, RunMsgnet, RunMsgnetFaulty} {
 		exec, err := run(spec)
 		if err != nil {
 			return replayable(spec, err)
@@ -432,6 +464,12 @@ func CrossCheck(spec workload.Spec) error {
 		}
 		if err := exec.CheckUniversal(g.OutWidth()); err != nil {
 			return replayable(spec, err)
+		}
+		if exec.Engine == "shm-adaptive-linear" {
+			if rep := lincheck.Analyze(exec.Ops); rep.NonLinearizable > 0 {
+				w, _ := lincheck.FirstWitness(exec.Ops)
+				return replayable(spec, fmt.Errorf("%s: waiting regime misordered: %v (%s)", exec.Engine, rep, w))
+			}
 		}
 	}
 	return nil

@@ -21,9 +21,19 @@
 // so at every quiescent point the values handed out since creation form
 // the gapless permutation 0..n-1 and therefore satisfy the step property
 // on any output partition — the invariant the conformance harness checks
-// differentially against the six other engines. Because a switch only
+// differentially against the seven other engines. Because a switch only
 // happens through a drained boundary, no interleaving can observe a
 // half-switched structure.
+//
+// A fourth regime, ModeLinear, buys guaranteed linearizability the way
+// the paper says it must be bought — by waiting: tokens traverse the
+// network and then hold their responses until every smaller value in the
+// epoch has been returned (a per-epoch turn counter seeded from the
+// epoch's backend start). Options.LinearBelow makes the regime reachable
+// from the controller: whenever the ladder picks a network-family regime
+// at occupancy below the band, the engine serializes responses instead
+// of running outside the guarantee; above the band it reverts to the
+// practically-linearizable plain network.
 //
 // The Linearizable option implements the honest version of the paper's
 // Corollary 3.12 trade: when the measured (Tog+W)/Tog ratio implies
@@ -49,10 +59,13 @@ import (
 	"countnet/internal/topo"
 )
 
-// Mode names one of the three counting structures.
+// Mode names one of the four counting structures.
 type Mode int32
 
-// The contention regimes, in escalation order.
+// The contention regimes. The first three are the escalation ladder, in
+// order; ModeLinear sits beside the ladder as the guaranteed-ordering
+// regime the controller enters when the user asked for linearizability
+// (Options.LinearBelow) and the occupancy makes waiting affordable.
 const (
 	// ModeDirect serves tokens from a single padded fetch-and-add
 	// counter: optimal when tokens rarely collide.
@@ -64,6 +77,12 @@ const (
 	// ModeNetwork sends every token through the full-width balancing
 	// network: high contention, where only width keeps any one word cool.
 	ModeNetwork
+	// ModeLinear sends every token through the network and then holds its
+	// response until every smaller value issued in the epoch has been
+	// returned — the Herlihy-Shavit-Waarts waiting construction the paper
+	// contrasts against, as a switchable regime: guaranteed
+	// linearizability, paid for by serializing responses.
+	ModeLinear
 )
 
 // String names the mode.
@@ -75,6 +94,8 @@ func (m Mode) String() string {
 		return "combine"
 	case ModeNetwork:
 		return "network"
+	case ModeLinear:
+		return "linear"
 	default:
 		return fmt.Sprintf("mode(%d)", int32(m))
 	}
@@ -135,6 +156,16 @@ type Options struct {
 	// padded network whenever the measured (Tog+W)/Tog ratio implies
 	// k > 2, instead of silently degrading.
 	Linearizable bool
+	// LinearBelow, when positive, asks for guaranteed ordering: whenever
+	// the ladder would pick a network-family regime (combine or network)
+	// and the mean occupancy sits below this band, the controller enters
+	// ModeLinear instead — the network plus the waiting filter, whose
+	// serialization cost is affordable exactly when few tokens overlap.
+	// Above the band the engine reverts to the practically-linearizable
+	// plain network; direct-counter epochs are untouched (a fetch-and-add
+	// is already linearizable). A counter built with LinearBelow > 0
+	// starts in ModeLinear, so the guarantee holds from the first token.
+	LinearBelow int
 	// MaxPadK caps the padding factor k (default DefaultMaxPadK).
 	MaxPadK int
 	// CombineWidth and CombineWindow configure the funnel (zero values
@@ -176,7 +207,7 @@ type Stats struct {
 	Switches int64
 	// PerMode tallies tokens by the mode that served them (closed epochs
 	// plus the live one).
-	PerMode [3]int64
+	PerMode [4]int64
 	// Ratio is the live (Tog+W)/Tog estimate (+Inf before any sample).
 	Ratio float64
 	// PadK is the padding factor the live epoch runs under (1 = none).
@@ -210,6 +241,11 @@ type Counter struct {
 	inflight [stripes]pad64        //countnet:gatecensus
 
 	direct pad64 // the ModeDirect backend's cumulative sequence
+	// turn is the ModeLinear release counter: the next raw backend value
+	// allowed to return. Reseeded from the epoch's backend start at every
+	// switch into a linear epoch, which happens at a drained boundary, so
+	// token-side loads never race the reseed.
+	turn   pad64
 	net    *shm.Network
 	funnel *combine.Funnel
 	opts   Options
@@ -230,7 +266,7 @@ type Counter struct {
 	// Switch state under switchMu: padded-network cache and the epoch
 	// log.
 	switchMu sync.Mutex //countnet:gatelock
-	padded   map[int]*shm.Network
+	padded   map[int]paddedNet
 	epochs   []EpochStat
 	switches atomic.Int64
 
@@ -276,10 +312,13 @@ func New(n *shm.Network, opts Options) (*Counter, error) {
 	if opts.MaxPadK < 2 {
 		opts.MaxPadK = DefaultMaxPadK
 	}
+	if opts.LinearBelow < 0 {
+		return nil, fmt.Errorf("adaptive: negative LinearBelow (%d)", opts.LinearBelow)
+	}
 	c := &Counter{
 		net:    n,
 		opts:   opts,
-		padded: map[int]*shm.Network{1: n},
+		padded: map[int]paddedNet{1: {net: n, padK: 1}},
 		funnel: combine.New(combine.Options{
 			Width:   opts.CombineWidth,
 			Window:  opts.CombineWindow,
@@ -301,8 +340,16 @@ func New(n *shm.Network, opts Options) (*Counter, error) {
 		c.modeGauge = &obs.Gauge{}
 		c.epochGauge = &obs.Gauge{}
 	}
+	first := &epoch{mode: ModeDirect, padK: 1}
+	if opts.LinearBelow > 0 {
+		// The user asked for guaranteed ordering: start in ModeLinear so
+		// the guarantee holds from the first token (an empty counter is
+		// trivially below the band). The backend starts at zero, so the
+		// turn counter's zero value is already correctly seeded.
+		first = &epoch{mode: ModeLinear, net: n, padK: 1}
+	}
 	//countnet:allow gatevet -- the constructor publishes the first epoch before any reader exists, so no gate is needed
-	c.cur.Store(&epoch{mode: ModeDirect, padK: 1})
+	c.cur.Store(first)
 	return c, nil
 }
 
@@ -394,9 +441,34 @@ func (c *Counter) dispatch(ep *epoch, input int, proc, tok int32, afterNode func
 		return c.funnel.Do(1, func(demand int) []int64 {
 			return ep.net.TraverseBatch(input, demand, proc, tok, afterNode)
 		})[0]
+	case ModeLinear:
+		v := ep.net.TraverseObs(input, proc, tok, afterNode)
+		c.waitTurn(v)
+		return v
 	default:
 		return ep.net.TraverseObs(input, proc, tok, afterNode)
 	}
+}
+
+// waitTurn holds a ModeLinear response until every smaller raw value in
+// the epoch has been released, then releases v itself. The wait runs
+// inside dispatch — before Next's census decrement — so a waiting token
+// still counts as in-flight and a concurrent drain waits for it. The
+// drain always terminates: with the gate closed the in-flight set is
+// fixed, each of its tokens obtains a distinct value from the contiguous
+// backend sequence, and the holder of the smallest unreleased value is
+// never blocked — so the chain releases in value order until the census
+// reaches zero.
+//
+//countnet:hotpath
+func (c *Counter) waitTurn(v int64) {
+	if c.turn.v.Load() != v {
+		var bo backoff.Backoff
+		for c.turn.v.Load() != v {
+			bo.Wait()
+		}
+	}
+	c.turn.v.Store(v + 1)
 }
 
 // sample folds one timed token into the controller's accumulators: the
@@ -418,9 +490,11 @@ func (c *Counter) dispatch(ep *epoch, input int, proc, tok int32, afterNode func
 // Combine-mode latencies are dominated by the funnel rendezvous window,
 // not balancer waits — a waiting token never visits a balancer at all —
 // so they are excluded: folding them in would inflate Tog, deflate the
-// ratio, and delay padding the measurement does not justify.
+// ratio, and delay padding the measurement does not justify. Linear-mode
+// latencies are excluded for the same reason: they are dominated by the
+// turn wait, which is serialization cost, not toggle wait.
 func (c *Counter) sample(ep *epoch, d time.Duration) {
-	if ep.mode != ModeCombine {
+	if ep.mode != ModeCombine && ep.mode != ModeLinear {
 		nodes := int64(1)
 		if ep.mode != ModeDirect {
 			nodes = int64(ep.net.Graph().Depth()) + 1
@@ -512,7 +586,7 @@ func (c *Counter) Epochs() []EpochStat {
 // It must not be called from inside a Next invocation on the same
 // goroutine — the drain would wait for the caller's own census entry.
 func (c *Counter) SwitchTo(m Mode) error {
-	if m < ModeDirect || m > ModeNetwork {
+	if m < ModeDirect || m > ModeLinear {
 		return fmt.Errorf("adaptive: unknown mode %d", int32(m))
 	}
 	c.switchMu.Lock()
@@ -551,6 +625,13 @@ func (c *Counter) switchLocked(m Mode) {
 	} else {
 		next.strt = c.direct.v.Load()
 	}
+	if m == ModeLinear {
+		// Seed the per-epoch turn counter: the first raw value the new
+		// epoch's backend will issue is also the first allowed to return.
+		// The gate is closed and the census drained, so no token-side
+		// waitTurn can race this store.
+		c.turn.v.Store(next.strt)
+	}
 	c.cur.Store(next)
 	if old.mode != m {
 		c.switches.Add(1)
@@ -560,36 +641,56 @@ func (c *Counter) switchLocked(m Mode) {
 	c.gate.Add(1) // odd -> next even: reopen
 }
 
-// pickNet selects the network the next epoch traverses: the plain one,
-// or — for a ModeNetwork epoch under the Linearizable option when the
-// measured ratio implies k > 2 — the Corollary 3.12 padded variant for
-// the smallest k covering the estimate, compiled once and cached.
-// Combine epochs always get the plain network: padding applies to
-// network-mode traffic only (matching the Options.Linearizable contract
-// and control()'s repad check, which re-rolls only ModeNetwork epochs
-// when the estimate moves). Compile failures fall back to the plain
-// network (padding is an optimization of the guarantee, never of
-// correctness).
+// paddedNet is one entry of the padded-network cache: the compiled
+// network together with the Corollary 3.12 factor its graph actually
+// has. The two can differ from the cache key when a pad/compile failure
+// fell back to the plain network — the entry then records padK = 1, so
+// no epoch ever reports padding its graph does not have.
+type paddedNet struct {
+	net  *shm.Network
+	padK int
+}
+
+// compilePadded is the padded-network compile seam; the padK-fallback
+// regression test stubs it to force a deterministic failure.
+var compilePadded = func(g *topo.Graph, opts shm.Options) (*shm.Network, error) {
+	return shm.Compile(g, opts)
+}
+
+// pickNet selects the network the next epoch traverses and the padding
+// factor that network really has: the plain one, or — for a ModeNetwork
+// epoch under the Linearizable option when the measured ratio implies
+// k > 2 — the Corollary 3.12 padded variant for the smallest k covering
+// the estimate, compiled once and cached. Combine and linear epochs
+// always get the plain network: padding applies to network-mode traffic
+// only (matching the Options.Linearizable contract and control()'s repad
+// check, which re-rolls only ModeNetwork epochs when the estimate
+// moves), and a linear epoch's waiting already guarantees what padding
+// buys. Compile failures fall back to the plain network (padding is an
+// optimization of the guarantee, never of correctness) — cached under
+// the requested key but carrying its true factor 1, so the epoch log
+// never claims padding that does not exist and the repad check keeps
+// seeing the epoch as unpadded.
 func (c *Counter) pickNet(m Mode) (*shm.Network, int) {
 	k := 1
 	if m == ModeNetwork {
 		k = c.padK()
 	}
-	if n, ok := c.padded[k]; ok {
-		return n, k
+	if p, ok := c.padded[k]; ok {
+		return p.net, p.padK
 	}
 	g := c.net.Graph()
 	padded, err := topo.Pad(g, core.PaddingLength(g.Depth(), k))
 	if err != nil {
-		c.padded[k] = c.net
+		c.padded[k] = paddedNet{net: c.net, padK: 1}
 		return c.net, 1
 	}
-	n, err := shm.Compile(padded, shm.Options{Kind: c.opts.Kind})
+	n, err := compilePadded(padded, shm.Options{Kind: c.opts.Kind})
 	if err != nil {
-		c.padded[k] = c.net
+		c.padded[k] = paddedNet{net: c.net, padK: 1}
 		return c.net, 1
 	}
-	c.padded[k] = n
+	c.padded[k] = paddedNet{net: n, padK: k}
 	return n, k
 }
 

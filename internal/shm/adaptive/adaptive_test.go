@@ -112,6 +112,7 @@ func TestModeString(t *testing.T) {
 		adaptive.ModeDirect:  "direct",
 		adaptive.ModeCombine: "combine",
 		adaptive.ModeNetwork: "network",
+		adaptive.ModeLinear:  "linear",
 		adaptive.Mode(9):     "mode(9)",
 	} {
 		if got := m.String(); got != want {
@@ -156,8 +157,9 @@ func TestNewValidation(t *testing.T) {
 // token.
 func TestQuiescentSwitchMatrix(t *testing.T) {
 	rotation := []adaptive.Mode{
-		adaptive.ModeCombine, adaptive.ModeNetwork, adaptive.ModeDirect,
-		adaptive.ModeNetwork, adaptive.ModeCombine, adaptive.ModeDirect,
+		adaptive.ModeCombine, adaptive.ModeNetwork, adaptive.ModeLinear,
+		adaptive.ModeDirect, adaptive.ModeNetwork, adaptive.ModeLinear,
+		adaptive.ModeCombine, adaptive.ModeDirect,
 	}
 	for _, width := range matrixWidths {
 		t.Run(fmt.Sprintf("w%d", width), func(t *testing.T) {
@@ -191,7 +193,7 @@ func TestQuiescentSwitchMatrix(t *testing.T) {
 // breach — at every width.
 func TestConcurrentSwitchMatrix(t *testing.T) {
 	rotation := []adaptive.Mode{
-		adaptive.ModeCombine, adaptive.ModeNetwork, adaptive.ModeDirect,
+		adaptive.ModeCombine, adaptive.ModeNetwork, adaptive.ModeLinear, adaptive.ModeDirect,
 	}
 	for _, width := range matrixWidths {
 		t.Run(fmt.Sprintf("w%d", width), func(t *testing.T) {
@@ -260,7 +262,7 @@ func TestSwitchStorm(t *testing.T) {
 storm:
 	for {
 		for _, m := range []adaptive.Mode{
-			adaptive.ModeNetwork, adaptive.ModeDirect, adaptive.ModeCombine,
+			adaptive.ModeNetwork, adaptive.ModeLinear, adaptive.ModeDirect, adaptive.ModeCombine,
 		} {
 			select {
 			case <-done:
@@ -430,12 +432,12 @@ func TestControllerEscalates(t *testing.T) {
 }
 
 // TestStatsPartition checks the per-mode tally partition: every issued
-// token is attributed to exactly one regime.
+// token is attributed to exactly one regime, across all four regimes.
 func TestStatsPartition(t *testing.T) {
 	c := newCounter(t, 4, adaptive.Options{})
 	var tok int32
 	for _, m := range []adaptive.Mode{
-		adaptive.ModeDirect, adaptive.ModeCombine, adaptive.ModeNetwork,
+		adaptive.ModeDirect, adaptive.ModeCombine, adaptive.ModeNetwork, adaptive.ModeLinear,
 	} {
 		if err := c.SwitchTo(m); err != nil {
 			t.Fatal(err)
@@ -446,7 +448,7 @@ func TestStatsPartition(t *testing.T) {
 		}
 	}
 	st := c.Stats()
-	if got := st.PerMode[0] + st.PerMode[1] + st.PerMode[2]; got != st.Tokens || st.Tokens != int64(tok) {
+	if got := st.PerMode[0] + st.PerMode[1] + st.PerMode[2] + st.PerMode[3]; got != st.Tokens || st.Tokens != int64(tok) {
 		t.Fatalf("per-mode partition %v sums to %d, issued %d", st.PerMode, got, tok)
 	}
 	for m, n := range st.PerMode {
@@ -539,6 +541,184 @@ func TestAdaptiveQuiescentLinearizable(t *testing.T) {
 	}
 	if m := front.Mode(); m != adaptive.ModeDirect {
 		t.Errorf("single undelayed worker escalated to %v", m)
+	}
+}
+
+// drawAll issues tokens [from, to) sequentially with a fast-fail
+// watchdog: a mis-seeded ModeLinear turn counter would hang Next forever
+// waiting for a turn value the epoch's backend will never issue, and the
+// watchdog turns that hang into a prompt failure instead of a package
+// timeout.
+func drawAll(t *testing.T, c *adaptive.Counter, width int, from, to int32) []int64 {
+	t.Helper()
+	out := make([]int64, 0, to-from)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for tok := from; tok < to; tok++ {
+			out = append(out, c.Next(int(tok)%width, 0, tok, nil))
+		}
+	}()
+	select {
+	case <-done:
+		return out
+	case <-time.After(30 * time.Second):
+		t.Fatalf("tokens [%d,%d) hung in mode %v: turn counter not seeded for the epoch", from, to, c.Mode())
+		return nil
+	}
+}
+
+// TestLinearTurnReset checks the per-epoch turn counter across regime
+// switches: every re-entry into ModeLinear must reseed the turn from the
+// new epoch's backend start, or the first waiting token of the second
+// linear epoch would spin on a turn value that already passed.
+func TestLinearTurnReset(t *testing.T) {
+	const width = 4
+	c := newCounter(t, width, adaptive.Options{})
+	var vals []int64
+	var tok int32
+	for _, m := range []adaptive.Mode{
+		adaptive.ModeLinear,  // epoch 1: turn seeded from a zero backend
+		adaptive.ModeDirect,  // direct tokens advance only the FAA counter
+		adaptive.ModeLinear,  // re-entry: backend resumed mid-sequence
+		adaptive.ModeNetwork, // network tokens advance the shared backend...
+		adaptive.ModeLinear,  // ...so this reseed crosses unwaited values
+	} {
+		if err := c.SwitchTo(m); err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, drawAll(t, c, width, tok, tok+21)...)
+		tok += 21
+	}
+	checkValues(t, vals, width)
+	checkConservation(t, c, int64(len(vals)))
+}
+
+// TestLinearBelowStartsLinear checks the guaranteed-ordering contract of
+// Options.LinearBelow: the counter starts in ModeLinear (the guarantee
+// holds from the first token), a negative band is rejected, and the zero
+// value leaves the default ModeDirect start untouched.
+func TestLinearBelowStartsLinear(t *testing.T) {
+	c := newCounter(t, 4, adaptive.Options{LinearBelow: 64})
+	if m := c.Mode(); m != adaptive.ModeLinear {
+		t.Fatalf("LinearBelow counter starts in %v, want linear", m)
+	}
+	vals := drawAll(t, c, 4, 0, 32)
+	checkValues(t, vals, 4)
+	if c2 := newCounter(t, 4, adaptive.Options{}); c2.Mode() != adaptive.ModeDirect {
+		t.Errorf("default counter starts in %v, want direct", c2.Mode())
+	}
+	n, err := shm.Compile(buildGraph(t, 4), shm.Options{Kind: shm.KindMCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adaptive.New(n, adaptive.Options{LinearBelow: -1}); err == nil {
+		t.Error("negative LinearBelow accepted")
+	}
+}
+
+// TestLinearBelowNeverVotesUnguaranteed pins the controller's
+// guaranteed-ordering override: with LinearBelow far above any reachable
+// occupancy, a free-running controller may move between direct and
+// linear but must never serve a token from the unguaranteed combine or
+// network regimes. Escalation itself is scheduling-dependent on a small
+// host, so reaching ModeLinear is asserted only under
+// COUNTNET_STRICT_TIMING; the exclusion and the permutation are
+// unconditional.
+func TestLinearBelowNeverVotesUnguaranteed(t *testing.T) {
+	const width = 4
+	c := newCounter(t, width, adaptive.Options{
+		Window: 64, Hold: 1, DirectMax: 2, CombineMax: 6,
+		LinearBelow: 1 << 20,
+	})
+	const workers = 16
+	const per = 256
+	vals := make([]int64, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hold := func(topo.NodeID) { time.Sleep(2 * time.Microsecond) }
+			for i := 0; i < per; i++ {
+				tok := int32(w*per + i)
+				vals[tok] = c.Next(w%width, int32(w), tok, hold)
+			}
+		}(w)
+	}
+	wg.Wait()
+	checkValues(t, vals, width)
+	checkConservation(t, c, workers*per)
+	st := c.Stats()
+	t.Logf("controller: %d switches, per-mode tokens %v", st.Switches, st.PerMode)
+	if n := st.PerMode[adaptive.ModeCombine] + st.PerMode[adaptive.ModeNetwork]; n != 0 {
+		t.Errorf("guaranteed-ordering run served %d tokens from unguaranteed regimes: %v", n, st.PerMode)
+	}
+	if st.PerMode[adaptive.ModeLinear] == 0 && os.Getenv("COUNTNET_STRICT_TIMING") != "" {
+		t.Error("no token ever served in ModeLinear under 16-worker load")
+	}
+}
+
+// TestLinearZeroViolations is the lincheck entry for the guaranteed
+// regime (the race matrix runs it under -race): under the same per-node
+// W-anomaly injection that makes the bare network return values out of
+// real-time order, a counter pinned in ModeLinear must produce zero
+// non-linearizable operations. The bare-network contrast is reported,
+// and enforced under COUNTNET_STRICT_TIMING — whether the anomaly
+// actually bites in a given run is scheduling-dependent, the guarantee
+// side never is.
+func TestLinearZeroViolations(t *testing.T) {
+	const width = 8
+	const workers = 8
+	const ops = 800
+	run := func(front shm.Front) *shm.StressResult {
+		n, err := shm.Compile(buildGraph(t, width), shm.Options{Kind: shm.KindMCS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// RandomDelay pauses every worker uniform [0, Delay] per node, so
+		// tokens cross the network at genuinely different speeds — the
+		// anomaly shape that drives the bare network's misordering — and
+		// no worker subset can drain the shared op pool undelayed.
+		cfg := shm.StressConfig{
+			Net: n, Workers: workers, Ops: ops, Seed: 7,
+			RandomDelay: true, Delay: 30 * time.Microsecond,
+		}
+		if front != nil {
+			cfg.Front = front
+		}
+		res, err := shm.Stress(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	n, err := shm.Compile(buildGraph(t, width), shm.Options{Kind: shm.KindMCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 1<<20 keeps the controller out: every operation runs inside
+	// a ModeLinear epoch, so the report is exactly the regime's guarantee.
+	front, err := adaptive.New(n, adaptive.Options{LinearBelow: 1, Window: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linRes := run(front)
+	if linRes.Report.NonLinearizable > 0 {
+		if w, ok := lincheck.FirstWitness(linRes.Ops); ok {
+			t.Logf("witness: %s", w)
+		}
+		t.Fatalf("ModeLinear produced violations: %s", linRes.Report)
+	}
+	if m := front.Mode(); m != adaptive.ModeLinear {
+		t.Fatalf("pinned counter drifted to %v", m)
+	}
+
+	bareRes := run(nil)
+	t.Logf("bare network under the same anomalies: %s", bareRes.Report)
+	if bareRes.Report.NonLinearizable == 0 && os.Getenv("COUNTNET_STRICT_TIMING") != "" {
+		t.Error("W-anomaly injection produced no bare-network violations to contrast against")
 	}
 }
 

@@ -39,6 +39,54 @@ func (d *directFront) Next(input int, proc, tok int32, afterNode func(id topo.No
 // the adaptive row lands within 10% of the best static row: it should
 // pay only its sampling/gate overhead at 1 worker and track whichever
 // backend wins as contention grows.
+// BenchmarkAdaptiveLinear quantifies the serialization cliff of the
+// guaranteed-linearizable waiting regime (EXPERIMENTS.md E27): the same
+// 4096-token width-8 workload with the front-end pinned to ModeLinear
+// (LinearBelow far above any reachable occupancy, a huge sampling window
+// so the controller never intervenes), against the bare network as the
+// no-guarantee baseline. The waiting construction serializes responses —
+// token v+1 cannot return before token v — so past the point where the
+// network itself stops scaling, added workers only deepen the release
+// chain. The sweep lands in BENCH_adaptive.json next to the E25 rows.
+func BenchmarkAdaptiveLinear(b *testing.B) {
+	g, err := bitonic.New(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const ops = 4096
+	for _, workers := range []int{1, 8, 32, 128, 256} {
+		for _, eng := range []string{"network", "linear"} {
+			b.Run(fmt.Sprintf("%s/p%d", eng, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					n, err := shm.Compile(g, shm.Options{Kind: shm.KindMCS})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg := shm.StressConfig{Net: n, Workers: workers, Ops: ops, Seed: 1}
+					if eng == "linear" {
+						front, err := adaptive.New(n, adaptive.Options{
+							LinearBelow: 1 << 20,
+							Window:      1 << 20,
+							EffWait:     cfg.EffWait(),
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						cfg.Front = front
+					}
+					b.StartTimer()
+					res, err := shm.Stress(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(res.Throughput, "walkops/s")
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkAdaptive(b *testing.B) {
 	g, err := bitonic.New(8)
 	if err != nil {

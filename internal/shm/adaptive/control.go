@@ -67,7 +67,35 @@ func (c *Counter) control() {
 // CAS-failure rate above RaceMax per token escalates regardless of
 // occupancy: losing that many claim races means the slots themselves
 // have become the hot spot the network exists to avoid.
+//
+// When the user asked for guaranteed ordering (Options.LinearBelow),
+// ModeLinear overrides any network-family vote while the occupancy makes
+// waiting affordable: a linear epoch stays linear below the band, and a
+// combine/network vote enters ModeLinear only below half the band — the
+// same split-edge hysteresis the ladder uses, so the guarantee boundary
+// cannot flap either. Direct votes pass through untouched: a single
+// fetch-and-add is already linearizable, no waiting required. Within the
+// occupancy ladder a linear epoch counts as its network-family cousin
+// (it is the network, plus waiting).
 func (c *Counter) vote(mode Mode, occ float64) Mode {
+	ladder := mode
+	if ladder == ModeLinear {
+		ladder = ModeNetwork
+	}
+	want := c.ladderVote(ladder, occ)
+	if lb := float64(c.opts.LinearBelow); lb > 0 && want != ModeDirect {
+		switch {
+		case mode == ModeLinear && occ < lb:
+			return ModeLinear // stay: not high enough to abandon the guarantee
+		case occ < lb/2:
+			return ModeLinear // enter: waiting is clearly affordable
+		}
+	}
+	return want
+}
+
+// ladderVote is the three-regime occupancy/race ladder.
+func (c *Counter) ladderVote(mode Mode, occ float64) Mode {
 	if mode == ModeCombine && c.raceRate() > c.opts.RaceMax {
 		return ModeNetwork
 	}

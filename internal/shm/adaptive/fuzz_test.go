@@ -19,13 +19,17 @@ import (
 // log conserves every token (each one attributed to exactly one epoch).
 //
 // Byte encoding: b < 0x80 issues a burst of (b&7)+1 tokens from distinct
-// goroutines; b >= 0x80 forces SwitchTo(b mod 3). Inputs are capped at
-// 48 actions to bound each case's goroutine count.
+// goroutines; b >= 0x80 forces SwitchTo(b mod 4) — the four-mode
+// alphabet covers the guaranteed ModeLinear regime and its per-epoch
+// turn reseed alongside the escalation ladder. Inputs are capped at 48
+// actions to bound each case's goroutine count.
 func FuzzAdaptiveSwitch(f *testing.F) {
-	f.Add([]byte{0x07, 0x80, 0x07, 0x81, 0x07, 0x82, 0x07})
+	f.Add([]byte{0x07, 0x80, 0x07, 0x81, 0x07, 0x82, 0x07, 0x83, 0x07})
 	f.Add([]byte{0x00, 0x82, 0x00, 0x80, 0x00})
 	f.Add([]byte{0x81, 0x81, 0x81, 0x07, 0x07})
 	f.Add([]byte{0x07, 0x07, 0x07, 0x07, 0x07, 0x07})
+	f.Add([]byte{0x83, 0x07, 0x83, 0x07, 0x82, 0x07, 0x83, 0x07})
+	f.Add([]byte{0x83, 0x83, 0x83, 0x07, 0x80, 0x07, 0x83, 0x07})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) == 0 {
 			return
@@ -52,7 +56,7 @@ func FuzzAdaptiveSwitch(f *testing.F) {
 		var vals []int64
 		for _, b := range data {
 			if b >= 0x80 {
-				if err := c.SwitchTo(adaptive.Mode(b % 3)); err != nil {
+				if err := c.SwitchTo(adaptive.Mode(b % 4)); err != nil {
 					t.Fatal(err)
 				}
 				continue

@@ -1,8 +1,9 @@
 package shm
 
 import (
-	"runtime"
 	"sync/atomic"
+
+	"countnet/internal/shm/backoff"
 )
 
 // Filter makes a counting network linearizable by waiting, in the spirit of
@@ -16,7 +17,9 @@ import (
 // cost: the waiting serializes responses, so throughput degrades toward a
 // sequential bottleneck as concurrency and timing anomalies grow — the
 // quantitative version of "low contention linearizable counting needs
-// linear depth". See BenchmarkLinearizableFilter.
+// linear depth". See BenchmarkLinearizableFilter. The contention-adaptive
+// engine (internal/shm/adaptive) folds the same construction in as its
+// switchable ModeLinear regime.
 type Filter struct {
 	net  *Network
 	turn atomic.Int64
@@ -30,10 +33,19 @@ func NewFilter(net *Network) *Filter {
 // Traverse draws a value and holds it until all smaller values have been
 // returned.
 func (f *Filter) Traverse(input int) int64 {
-	v := f.net.Traverse(input)
-	for spins := 0; f.turn.Load() != v; spins++ {
-		if spins%64 == 63 {
-			runtime.Gosched()
+	return f.release(f.net.Traverse(input))
+}
+
+// release holds value v until every smaller value has been returned, then
+// returns it and opens the gate for v+1. The wait runs the shared backoff
+// ladder — spin, then yield, then sleep — so a long-blocked token stops
+// burning its core (on a single-CPU host a raw spin would steal the
+// quantum from the very token it is waiting on).
+func (f *Filter) release(v int64) int64 {
+	if f.turn.Load() != v {
+		var bo backoff.Backoff
+		for f.turn.Load() != v {
+			bo.Wait()
 		}
 	}
 	f.turn.Store(v + 1)

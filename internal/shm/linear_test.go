@@ -1,7 +1,6 @@
 package shm
 
 import (
-	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -66,18 +65,12 @@ func TestFilterIsLinearizable(t *testing.T) {
 }
 
 // slowTraverse is Traverse with a stall after every node, used to inject
-// the paper's W anomaly inside the network.
+// the paper's W anomaly inside the network. The wait-then-release step is
+// the filter's own, so the test path cannot drift from the real one.
 func (f *Filter) slowTraverse(input int, stall time.Duration) int64 {
-	v := f.net.TraverseHook(input, func(topo.NodeID) {
+	return f.release(f.net.TraverseHook(input, func(topo.NodeID) {
 		deadline := time.Now().Add(stall)
 		for time.Now().Before(deadline) {
 		}
-	})
-	for spins := 0; f.turn.Load() != v; spins++ {
-		if spins%64 == 63 {
-			runtime.Gosched()
-		}
-	}
-	f.turn.Store(v + 1)
-	return v
+	}))
 }

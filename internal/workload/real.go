@@ -35,8 +35,12 @@ type RealSpec struct {
 	// the combining funnel, and the full network as load changes.
 	// Mutually exclusive with Combine (the adaptive engine owns its own
 	// funnel). AdaptiveLinearizable enables its Corollary 3.12 padding.
+	// AdaptiveLinearBelow forwards adaptive.Options.LinearBelow: when
+	// positive, the front-end starts in — and below that occupancy stays
+	// in — the guaranteed-linearizable ModeLinear waiting regime.
 	Adaptive             bool
 	AdaptiveLinearizable bool
+	AdaptiveLinearBelow  int
 }
 
 // String names the spec compactly.
@@ -55,6 +59,9 @@ func (s RealSpec) String() string {
 		tail += "/adaptive"
 		if s.AdaptiveLinearizable {
 			tail += "+lin"
+		}
+		if s.AdaptiveLinearBelow > 0 {
+			tail += "+wait"
 		}
 	}
 	return fmt.Sprintf("%s%d/g=%d/W=%v/F=%.0f%%%s", s.Net, s.Width, s.Workers, s.Delay, 100*s.Frac, tail)
@@ -93,6 +100,7 @@ func (s RealSpec) Run() (*shm.StressResult, error) {
 		}
 		front, err := adaptive.New(n, adaptive.Options{
 			Linearizable:  s.AdaptiveLinearizable,
+			LinearBelow:   s.AdaptiveLinearBelow,
 			CombineWidth:  s.CombineWidth,
 			CombineWindow: s.CombineWindow,
 			EffWait:       cfg.EffWait(),
